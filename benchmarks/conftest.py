@@ -1,0 +1,42 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark module regenerates one figure or table from the paper on the
+profile selected by the ``QROSS_PROFILE`` environment variable (``smoke`` by
+default, ``small`` / ``paper`` for larger runs).  The rendered text report of
+every experiment is written to ``benchmarks/results/`` and echoed to stdout so
+``pytest benchmarks/ --benchmark-only`` leaves a readable record.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Callable
+
+import pytest
+
+from repro.experiments.profiles import ExperimentProfile, resolve_profile
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def profile() -> ExperimentProfile:
+    """Experiment profile shared by every benchmark in the session."""
+    return resolve_profile()
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def record_report(results_dir: Path) -> Callable[[str, str], None]:
+    """Persist a rendered report and echo it for the benchmark log."""
+
+    def _record(name: str, text: str) -> None:
+        (results_dir / f"{name}.txt").write_text(text + "\n")
+        print(f"\n===== {name} =====\n{text}\n")
+
+    return _record

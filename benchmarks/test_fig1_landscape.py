@@ -1,0 +1,33 @@
+"""Benchmark reproducing Fig. 1: the Pf sigmoid and the energy dipper.
+
+Paper shape: as the relaxation parameter grows, the probability of feasibility
+rises from 0 to 1 along a sigmoid, and the best objective energy traces a
+"dipper" whose bottom (the optimal parameter) sits on the sigmoid slope.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.figures import figure1_landscape
+from repro.experiments.reporting import format_figure1
+
+
+def test_figure1_landscape(benchmark, profile, record_report):
+    result = benchmark.pedantic(
+        figure1_landscape, kwargs={"profile": profile, "rng": profile.seed}, rounds=1, iterations=1
+    )
+    record_report("figure1_landscape", format_figure1(result))
+
+    for label, series in result.series.items():
+        pf = series.probability_of_feasibility
+        # Sigmoid shape: infeasible at the far left, feasible at the far right.
+        assert pf[0] <= 0.5, f"{label}: Pf should start low"
+        assert pf[-1] >= 0.5, f"{label}: Pf should end high"
+        # Pf is (weakly) increasing overall: compare left-half and right-half means.
+        half = pf.size // 2
+        assert pf[half:].mean() >= pf[:half].mean()
+
+    # The best feasible fitness exists somewhere on the slope / right plateau.
+    da = result.series["Digital Annealer"]
+    assert np.any(np.isfinite(da.best_fitness))

@@ -1,0 +1,34 @@
+"""Benchmark reproducing Fig. 3: QROSS vs TPE / BO / Random on the synthetic test set.
+
+Paper shape: QROSS starts ahead of every baseline at the first trial (its first
+three proposals need no solver feedback) and stays at or below the baselines as
+the trial budget grows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.figures import figure3_synthetic_comparison
+from repro.experiments.reporting import format_comparison_figure
+
+
+def test_figure3_synthetic_comparison(benchmark, profile, record_report):
+    figure = benchmark.pedantic(
+        figure3_synthetic_comparison, kwargs={"profile": profile}, rounds=1, iterations=1
+    )
+    checkpoints = (1, 3, profile.num_trials)
+    record_report("figure3_synthetic", format_comparison_figure(figure, checkpoints))
+
+    summaries = figure.result.summaries()
+    assert set(summaries) == {"QROSS", "TPE", "BO", "Random"}
+
+    # Every method's mean gap curve is non-increasing (running best fitness).
+    for summary in summaries.values():
+        assert np.all(np.diff(summary.mean) <= 1e-9)
+
+    # QROSS finds feasible solutions within its offline proposals and ends the
+    # budget at least as good as the random baseline.
+    qross = summaries["QROSS"]
+    assert qross.at_trial(3) < 1.0
+    assert qross.at_trial(profile.num_trials) <= summaries["Random"].at_trial(profile.num_trials) + 0.02

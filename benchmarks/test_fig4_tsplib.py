@@ -1,0 +1,30 @@
+"""Benchmark reproducing Fig. 4: the same comparison on the TSPLIB-like suite.
+
+Paper shape: the surrogate is trained on the synthetic distribution but still
+leads (or matches) the baselines on the out-of-distribution real-world-like
+instances — the "knowledge generalises to instances of different size" claim.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.figures import figure4_tsplib_comparison
+from repro.experiments.reporting import format_comparison_figure
+
+
+def test_figure4_tsplib_comparison(benchmark, profile, record_report):
+    figure = benchmark.pedantic(
+        figure4_tsplib_comparison, kwargs={"profile": profile}, rounds=1, iterations=1
+    )
+    checkpoints = (1, 3, profile.num_trials)
+    record_report("figure4_tsplib", format_comparison_figure(figure, checkpoints))
+
+    summaries = figure.result.summaries()
+    assert set(summaries) == {"QROSS", "TPE", "BO", "Random"}
+    for summary in summaries.values():
+        assert np.all(np.diff(summary.mean) <= 1e-9)
+
+    # Out-of-distribution generalisation: the offline proposals still produce
+    # feasible solutions within the first three trials.
+    assert summaries["QROSS"].at_trial(3) < 1.0

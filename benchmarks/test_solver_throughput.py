@@ -1,0 +1,83 @@
+"""Micro-benchmarks of the solver substrates and the surrogate inference path.
+
+These are classic pytest-benchmark timings (multiple rounds) rather than
+figure reproductions: they document the cost of one solver call versus one
+surrogate evaluation, which is the whole premise of QROSS ("an evaluation on
+the solver surrogate is much cheaper/faster than a call to a QUBO solver").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.dataset import SamplingPlan, collect_training_data
+from repro.core.features import TSPStatisticsExtractor
+from repro.core.surrogate import SolverSurrogate, SurrogateConfig
+from repro.problems.tsp.generator import generate_instance
+from repro.problems.tsp.qubo import TSPProblem
+from repro.solvers.digital_annealer import DigitalAnnealerConfig, DigitalAnnealerSolver
+from repro.solvers.qbsolv import QbsolvConfig, QbsolvSolver
+from repro.solvers.simulated_annealing import SimulatedAnnealingConfig, SimulatedAnnealingSolver
+from repro.solvers.tabu import TabuSearchConfig, TabuSearchSolver
+
+
+@pytest.fixture(scope="module")
+def benchmark_problem(profile):
+    instance = generate_instance(profile.min_cities, rng=profile.seed, name="throughput")
+    return TSPProblem(instance)
+
+
+@pytest.fixture(scope="module")
+def benchmark_qubo(benchmark_problem):
+    return benchmark_problem.build_qubo(benchmark_problem.relaxation_scale())
+
+
+@pytest.fixture(scope="module")
+def tiny_surrogate(profile):
+    problems = [
+        TSPProblem(generate_instance(profile.min_cities, rng=seed, name=f"thr-{seed}"))
+        for seed in range(4)
+    ]
+    solver = DigitalAnnealerSolver(DigitalAnnealerConfig(steps_per_variable=8))
+    plan = SamplingPlan(coarse_multipliers=(0.3, 0.7, 1.0, 1.5), num_refinement_points=2, num_reads=8)
+    dataset = collect_training_data(problems, solver, TSPStatisticsExtractor(), plan=plan, rng=0)
+    surrogate = SolverSurrogate(
+        TSPStatisticsExtractor(), config=SurrogateConfig(hidden_sizes=(32, 32), num_epochs=60), rng=0
+    )
+    surrogate.fit(dataset, rng=0)
+    return surrogate
+
+
+class TestSolverCallCost:
+    def test_digital_annealer_call(self, benchmark, profile, benchmark_qubo):
+        solver = DigitalAnnealerSolver(profile.digital_annealer_config())
+        result = benchmark(solver.sample, benchmark_qubo, num_reads=profile.num_reads, rng=0)
+        assert result.num_samples == profile.num_reads
+
+    def test_simulated_annealing_call(self, benchmark, profile, benchmark_qubo):
+        solver = SimulatedAnnealingSolver(profile.simulated_annealing_config())
+        result = benchmark(solver.sample, benchmark_qubo, num_reads=profile.num_reads, rng=0)
+        assert result.num_samples == profile.num_reads
+
+    def test_qbsolv_call(self, benchmark, profile, benchmark_qubo):
+        solver = QbsolvSolver(QbsolvConfig(subproblem_size=profile.qbsolv_subproblem_size, max_rounds=2))
+        result = benchmark(solver.sample, benchmark_qubo, num_reads=2, rng=0)
+        assert result.num_samples == 2
+
+    def test_tabu_call(self, benchmark, benchmark_qubo):
+        solver = TabuSearchSolver(TabuSearchConfig(num_steps=200))
+        result = benchmark(solver.sample, benchmark_qubo, num_reads=2, rng=0)
+        assert result.num_samples == 2
+
+
+class TestSurrogateInferenceCost:
+    def test_surrogate_prediction_grid(self, benchmark, tiny_surrogate, benchmark_problem):
+        parameters = np.linspace(0.1, 3.0, 64) * benchmark_problem.relaxation_scale()
+        prediction = benchmark(tiny_surrogate.predict, benchmark_problem, parameters)
+        assert prediction.probability_of_feasibility.shape == (64,)
+
+    def test_feature_extraction(self, benchmark, benchmark_problem):
+        extractor = TSPStatisticsExtractor()
+        features = benchmark(extractor.extract, benchmark_problem)
+        assert features.shape == (extractor.dim,)

@@ -1,0 +1,38 @@
+"""Benchmark reproducing Table 1: optimality gap at trials 3 and 20.
+
+Paper shape: for both solvers (the DA-style annealer and the qbsolv-style
+hybrid) and both datasets, QROSS's gap at the early checkpoint is competitive
+with or better than the baselines, and every method improves by the late
+checkpoint.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.reporting import format_table1
+from repro.experiments.tables import table1_optimality_gap
+
+
+def test_table1_optimality_gap(benchmark, profile, record_report):
+    result = benchmark.pedantic(
+        table1_optimality_gap, kwargs={"profile": profile}, rounds=1, iterations=1
+    )
+    record_report("table1_optimality_gap", format_table1(result))
+
+    methods = {row.method for row in result.rows}
+    solvers = {row.solver for row in result.rows}
+    assert methods == {"QROSS", "TPE", "BO", "Random"}
+    assert solvers == {"da", "qbsolv"}
+    assert len(result.rows) == 8  # 2 solvers x 4 methods (datasets are columns)
+
+    for row in result.rows:
+        # Later checkpoints never have a worse gap than earlier ones.
+        assert row.synthetic_gap_at_20 <= row.synthetic_gap_at_3 + 1e-9
+        assert row.tsplib_gap_at_20 <= row.tsplib_gap_at_3 + 1e-9
+        # Gaps are proper fractions of the reference tour length.
+        assert 0.0 <= row.synthetic_gap_at_20 <= 1.0
+        assert 0.0 <= row.tsplib_gap_at_20 <= 1.0
+
+    # QROSS reaches a small gap by the late checkpoint on the synthetic set
+    # with the solver it was trained for, as in the paper's Table 1.
+    qross_rows = {row.solver: row for row in result.rows if row.method == "QROSS"}
+    assert qross_rows["da"].synthetic_gap_at_20 < 0.15

@@ -1,0 +1,40 @@
+"""Penalty-weight study on Minimum Vertex Cover (paper Appendix B / Fig. 6).
+
+Shows why tuning the penalty weight matters even when "any sigma > max(w)"
+is feasible in exact arithmetic: on a solver with analog control error or
+limited coefficient precision, an oversized penalty drowns the objective and
+the returned covers get heavier.
+
+Run with:  python examples/mvc_penalty_study.py
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import figure6_mvc_penalty
+from repro.experiments.profiles import resolve_profile
+from repro.experiments.reporting import format_figure6, sparkline
+
+
+def main() -> None:
+    profile = resolve_profile()
+    num_vertices = 65 if profile.name == "paper" else 24
+    result = figure6_mvc_penalty(
+        profile,
+        num_vertices=num_vertices,
+        num_runs=2 if profile.name != "paper" else 4,
+        rng=profile.seed,
+    )
+    print(format_figure6(result))
+    print()
+    for name, values in result.normalized_energy.items():
+        label = "noisy quantum annealer" if name == "qa" else "simulated annealing"
+        print(f"{label:>24}: {sparkline(values)}  (left = small penalty, right = large penalty)")
+    print(
+        "\nExpected shape: both curves are lowest near the feasibility threshold"
+        "\nand rise as the penalty weight grows by orders of magnitude; the noisy"
+        "\nannealer degrades at least as much as plain simulated annealing."
+    )
+
+
+if __name__ == "__main__":
+    main()

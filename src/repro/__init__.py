@@ -1,0 +1,71 @@
+"""QROSS reproduction: QUBO relaxation-parameter optimisation via learning solver surrogates.
+
+The package is organised bottom-up:
+
+* :mod:`repro.qubo` — QUBO models, penalty construction, sample batches;
+* :mod:`repro.solvers` — simulated annealing, a Digital-Annealer-style solver,
+  tabu search, a qbsolv-style decomposer and a noisy "quantum" annealer;
+* :mod:`repro.problems` — TSP and MVC substrates with their QUBO relaxations;
+* :mod:`repro.nn` — a small numpy neural-network library;
+* :mod:`repro.core` — the QROSS contribution: solver surrogate, MFS/PBS/OFS
+  strategies and the composed tuner;
+* :mod:`repro.tuning` — the generic baselines (Random Search, TPE, Bayesian
+  Optimisation);
+* :mod:`repro.experiments` — profiles, runners and generators for every figure
+  and table in the paper.
+
+Quick start::
+
+    from repro.experiments import resolve_profile, build_problems, train_surrogate_for_solver
+    from repro.experiments import qross_tuner_factory, baseline_tuner_factories, run_comparison
+
+    profile = resolve_profile("smoke")
+    datasets = build_problems(profile)
+    surrogate, solver, _ = train_surrogate_for_solver(profile, "da", datasets.train_problems)
+    factories = {"QROSS": qross_tuner_factory(surrogate), **baseline_tuner_factories()}
+    result = run_comparison(datasets.test_problems, solver, factories,
+                            num_trials=profile.num_trials, num_reads=profile.num_reads, rng=0)
+    print({m: s.at_trial(3) for m, s in result.summaries().items()})
+"""
+
+from repro.core.surrogate import SolverSurrogate, SurrogateConfig
+from repro.core.tuner import QROSSTuner
+from repro.problems.mvc import MVCInstance, MVCProblem
+from repro.problems.tsp import TSPInstance, TSPProblem
+from repro.qubo import QUBOModel
+from repro.solvers import (
+    DigitalAnnealerSolver,
+    QbsolvSolver,
+    QuantumAnnealerSolver,
+    SimulatedAnnealingSolver,
+    TabuSearchSolver,
+)
+from repro.tuning import (
+    BayesianOptimisationTuner,
+    ParameterBounds,
+    RandomSearchTuner,
+    TPETuner,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "QUBOModel",
+    "SimulatedAnnealingSolver",
+    "DigitalAnnealerSolver",
+    "TabuSearchSolver",
+    "QbsolvSolver",
+    "QuantumAnnealerSolver",
+    "TSPInstance",
+    "TSPProblem",
+    "MVCInstance",
+    "MVCProblem",
+    "SolverSurrogate",
+    "SurrogateConfig",
+    "QROSSTuner",
+    "ParameterBounds",
+    "RandomSearchTuner",
+    "TPETuner",
+    "BayesianOptimisationTuner",
+]

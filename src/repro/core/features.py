@@ -1,0 +1,240 @@
+"""Instance feature extraction for the solver surrogate.
+
+The surrogate needs a *fixed-size* vector describing a problem instance,
+whatever its size (paper Section 3.2: "an feature extraction layer that
+handles problems of different sizes").  The paper aggregates edge-level
+features from a pre-trained TSP graph-conv network; without that PyTorch model
+we provide:
+
+* :class:`TSPStatisticsExtractor` — deterministic graph-level statistics of the
+  distance matrix (size, distance moments, minimum-spanning-tree and
+  nearest-neighbour statistics, spectral summary), which capture the "common
+  structure" the surrogate conditions on;
+* :class:`GraphEncoderExtractor` — an optional learned-embedding alternative
+  built on :class:`repro.nn.GraphConvEncoder`;
+* :class:`QuboStatisticsExtractor` — a problem-agnostic fallback computed from
+  the objective / penalty QUBOs, so non-TSP problems (e.g. MVC) work unchanged.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict
+
+import numpy as np
+from scipy.sparse.csgraph import minimum_spanning_tree
+
+from repro.nn.graph import GraphConvEncoder
+from repro.problems.base import ConstrainedProblem
+from repro.problems.tsp.heuristics import nearest_neighbour_tour
+from repro.problems.tsp.qubo import TSPProblem
+from repro.utils.rng import RngLike
+
+
+class FeatureExtractor(abc.ABC):
+    """Maps a problem instance to a fixed-size feature vector."""
+
+    @property
+    @abc.abstractmethod
+    def dim(self) -> int:
+        """Length of the feature vector."""
+
+    @abc.abstractmethod
+    def extract(self, problem: ConstrainedProblem) -> np.ndarray:
+        """Feature vector of ``problem`` (shape ``(dim,)``)."""
+
+    def extract_batch(self, problems) -> np.ndarray:
+        """Stack features of several problems into a matrix."""
+        return np.vstack([self.extract(problem) for problem in problems])
+
+
+class TSPStatisticsExtractor(FeatureExtractor):
+    """Hand-crafted graph-level statistics of a TSP distance matrix.
+
+    All distance-valued features are normalised by the maximum distance so the
+    representation is scale-invariant; the absolute scale enters the surrogate
+    separately through the normalised relaxation parameter.
+    """
+
+    _FEATURE_NAMES = (
+        "num_cities",
+        "log_num_cities",
+        "dist_mean",
+        "dist_std",
+        "dist_min",
+        "dist_median",
+        "dist_q25",
+        "dist_q75",
+        "dist_skew",
+        "mst_per_city",
+        "nn_tour_per_city",
+        "nn_edge_mean",
+        "nn_edge_std",
+        "eccentricity_mean",
+        "eccentricity_std",
+        "spectral_top1",
+        "spectral_top2",
+        "spectral_ratio",
+        "coefficient_of_variation",
+        "triangle_slack",
+    )
+
+    @property
+    def dim(self) -> int:
+        return len(self._FEATURE_NAMES)
+
+    @property
+    def feature_names(self) -> tuple[str, ...]:
+        return self._FEATURE_NAMES
+
+    def extract(self, problem: ConstrainedProblem) -> np.ndarray:
+        if not isinstance(problem, TSPProblem):
+            raise TypeError(f"TSPStatisticsExtractor expects a TSPProblem, got {type(problem).__name__}")
+        return self.extract_instance_features(problem)
+
+    def extract_instance_features(self, problem: TSPProblem) -> np.ndarray:
+        instance = problem.instance
+        D = np.asarray(instance.distances, dtype=np.float64)
+        n = instance.num_cities
+        d_max = float(D.max(initial=1.0)) or 1.0
+        scaled = D / d_max
+        off = scaled[~np.eye(n, dtype=bool)]
+
+        mst = minimum_spanning_tree(scaled).toarray()
+        mst_length = float(mst.sum())
+
+        nn_tour = nearest_neighbour_tour(instance, start=0)
+        nn_length = instance.tour_length(nn_tour) / d_max
+
+        masked = scaled + np.eye(n) * 10.0
+        nn_edges = masked.min(axis=1)
+        eccentricity = scaled.max(axis=1)
+
+        eigenvalues = np.sort(np.abs(np.linalg.eigvalsh(scaled)))[::-1]
+        top1 = float(eigenvalues[0]) / n
+        top2 = float(eigenvalues[1]) / n if eigenvalues.size > 1 else 0.0
+
+        mean = float(off.mean())
+        std = float(off.std())
+        skew = float(((off - mean) ** 3).mean() / (std**3 + 1e-12))
+        # How far the matrix is from being an ultrametric / how much triangle slack exists.
+        sample_slack = self._triangle_slack(scaled)
+
+        features = np.array(
+            [
+                float(n),
+                float(np.log(n)),
+                mean,
+                std,
+                float(off.min()),
+                float(np.median(off)),
+                float(np.quantile(off, 0.25)),
+                float(np.quantile(off, 0.75)),
+                skew,
+                mst_length / n,
+                nn_length / n,
+                float(nn_edges.mean()),
+                float(nn_edges.std()),
+                float(eccentricity.mean()),
+                float(eccentricity.std()),
+                top1,
+                top2,
+                top2 / (top1 + 1e-12),
+                std / (mean + 1e-12),
+                sample_slack,
+            ]
+        )
+        return features
+
+    @staticmethod
+    def _triangle_slack(scaled: np.ndarray, num_samples: int = 64) -> float:
+        """Average relative slack of random triangle inequalities (structure indicator)."""
+        n = scaled.shape[0]
+        rng = np.random.default_rng(0)
+        triples = rng.integers(0, n, size=(num_samples, 3))
+        valid = (
+            (triples[:, 0] != triples[:, 1])
+            & (triples[:, 1] != triples[:, 2])
+            & (triples[:, 0] != triples[:, 2])
+        )
+        triples = triples[valid]
+        if triples.size == 0:
+            return 0.0
+        direct = scaled[triples[:, 0], triples[:, 2]]
+        detour = scaled[triples[:, 0], triples[:, 1]] + scaled[triples[:, 1], triples[:, 2]]
+        return float(np.mean((detour - direct) / (detour + 1e-12)))
+
+
+class GraphEncoderExtractor(FeatureExtractor):
+    """Learned-embedding alternative: a frozen numpy GCN over the distance matrix."""
+
+    def __init__(self, hidden_dim: int = 16, num_layers: int = 2, rng: RngLike = 0) -> None:
+        self._encoder = GraphConvEncoder(hidden_dim=hidden_dim, num_layers=num_layers, rng=rng)
+
+    @property
+    def dim(self) -> int:
+        return self._encoder.embedding_dim
+
+    def extract(self, problem: ConstrainedProblem) -> np.ndarray:
+        if not isinstance(problem, TSPProblem):
+            raise TypeError(f"GraphEncoderExtractor expects a TSPProblem, got {type(problem).__name__}")
+        return self._encoder.encode(problem.instance.distances)
+
+
+class QuboStatisticsExtractor(FeatureExtractor):
+    """Problem-agnostic features derived from the objective and penalty QUBOs."""
+
+    _NUM_FEATURES = 12
+
+    @property
+    def dim(self) -> int:
+        return self._NUM_FEATURES
+
+    def extract(self, problem: ConstrainedProblem) -> np.ndarray:
+        builder = problem.builder()
+        objective = np.asarray(builder.objective.Q)
+        penalty = np.asarray(builder.penalty.Q)
+        n = problem.num_qubo_variables
+        obj_scale = float(np.abs(objective).max(initial=1.0)) or 1.0
+        pen_scale = float(np.abs(penalty).max(initial=1.0)) or 1.0
+        obj = objective / obj_scale
+        pen = penalty / pen_scale
+        return np.array(
+            [
+                float(n),
+                float(np.log(n)),
+                float(np.abs(obj).mean()),
+                float(obj.std()),
+                float(np.count_nonzero(obj)) / obj.size,
+                float(np.diag(obj).mean()),
+                float(np.abs(pen).mean()),
+                float(pen.std()),
+                float(np.count_nonzero(pen)) / pen.size,
+                float(np.diag(pen).mean()),
+                obj_scale / (pen_scale + 1e-12),
+                float(problem.relaxation_scale()),
+            ]
+        )
+
+
+class CompositeExtractor(FeatureExtractor):
+    """Concatenation of several extractors (e.g. statistics + learned embedding)."""
+
+    def __init__(self, *extractors: FeatureExtractor) -> None:
+        if not extractors:
+            raise ValueError("at least one extractor is required")
+        self._extractors = extractors
+
+    @property
+    def dim(self) -> int:
+        return sum(extractor.dim for extractor in self._extractors)
+
+    def extract(self, problem: ConstrainedProblem) -> np.ndarray:
+        return np.concatenate([extractor.extract(problem) for extractor in self._extractors])
+
+
+def default_extractor_for(problem: ConstrainedProblem) -> FeatureExtractor:
+    """Sensible default extractor for a problem type."""
+    if isinstance(problem, TSPProblem):
+        return TSPStatisticsExtractor()
+    return QuboStatisticsExtractor()

@@ -1,0 +1,26 @@
+"""QROSS parameter-selection strategies: MFS, PBS (offline) and OFS (online)."""
+
+from repro.core.strategies.base import OfflineStrategy, dense_parameter_grid
+from repro.core.strategies.composed import ComposedStrategyConfig, offline_proposals
+from repro.core.strategies.minimum_fitness import MinimumFitnessStrategy
+from repro.core.strategies.online_fitting import (
+    OnlineFittingStrategy,
+    SigmoidFit,
+    fit_sigmoid,
+    sigmoid_ansatz,
+)
+from repro.core.strategies.pf_based import PfBasedStrategy, propose_probability_ladder
+
+__all__ = [
+    "OfflineStrategy",
+    "dense_parameter_grid",
+    "MinimumFitnessStrategy",
+    "PfBasedStrategy",
+    "propose_probability_ladder",
+    "OnlineFittingStrategy",
+    "SigmoidFit",
+    "fit_sigmoid",
+    "sigmoid_ansatz",
+    "ComposedStrategyConfig",
+    "offline_proposals",
+]

@@ -1,0 +1,38 @@
+"""Strategy interfaces for proposing relaxation parameters from the surrogate."""
+
+from __future__ import annotations
+
+import abc
+from typing import List
+
+from repro.core.surrogate import SolverSurrogate
+from repro.problems.base import ConstrainedProblem
+from repro.tuning.base import ParameterBounds
+
+
+class OfflineStrategy(abc.ABC):
+    """A strategy that proposes parameters *without* calling a QUBO solver.
+
+    Offline strategies (MFS and PBS in the paper) only query the trained
+    surrogate, which is why the first QROSS trials cost no solver calls.
+    """
+
+    name: str = "offline-strategy"
+
+    @abc.abstractmethod
+    def propose(
+        self,
+        surrogate: SolverSurrogate,
+        problem: ConstrainedProblem,
+        bounds: ParameterBounds,
+    ) -> List[float]:
+        """Return one or more promising relaxation parameters inside ``bounds``."""
+
+
+def dense_parameter_grid(bounds: ParameterBounds, num_points: int = 256):
+    """Shared helper: a dense evaluation grid over the search bounds."""
+    import numpy as np
+
+    if num_points < 8:
+        raise ValueError("num_points must be at least 8")
+    return np.linspace(bounds.low, bounds.high, num_points)

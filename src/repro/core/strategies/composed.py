@@ -1,0 +1,65 @@
+"""The composed benchmark strategy (paper Section 5, "Strategy").
+
+For the experiments the paper mixes the three strategies:
+
+1. trial 1 — MFS proposes the first candidate;
+2. trials 2-3 — PBS proposes the parameters with predicted ``Pf`` of 80 % and
+   20 %;
+3. remaining trials — OFS refines online, reusing every earlier trial for its
+   sigmoid fit.
+
+This module packages that mixture as a plain schedule object so the QROSS
+tuner (and ablation benchmarks that disable individual stages) can share it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.strategies.minimum_fitness import MinimumFitnessStrategy
+from repro.core.strategies.pf_based import PfBasedStrategy
+from repro.core.surrogate import SolverSurrogate
+from repro.problems.base import ConstrainedProblem
+from repro.tuning.base import ParameterBounds
+
+
+@dataclass(frozen=True)
+class ComposedStrategyConfig:
+    """Which offline proposals the composed strategy starts with.
+
+    Parameters
+    ----------
+    use_minimum_fitness:
+        Include the MFS proposal as the first candidate.
+    pf_targets:
+        PBS feasibility targets proposed after MFS (the paper uses 80 %, 20 %).
+    batch_size:
+        Solver batch size assumed by the MFS expectation.
+    """
+
+    use_minimum_fitness: bool = True
+    pf_targets: tuple[float, ...] = (0.8, 0.2)
+    batch_size: int = 128
+
+    def __post_init__(self) -> None:
+        if not self.use_minimum_fitness and not self.pf_targets:
+            raise ValueError("the composed strategy needs at least one offline proposal")
+
+
+def offline_proposals(
+    surrogate: SolverSurrogate,
+    problem: ConstrainedProblem,
+    bounds: ParameterBounds,
+    config: ComposedStrategyConfig | None = None,
+) -> List[float]:
+    """All offline (zero-solver-call) proposals for one instance, in trial order."""
+    config = config or ComposedStrategyConfig()
+    proposals: List[float] = []
+    if config.use_minimum_fitness:
+        mfs = MinimumFitnessStrategy(batch_size=config.batch_size)
+        proposals.extend(mfs.propose(surrogate, problem, bounds))
+    if config.pf_targets:
+        pbs = PfBasedStrategy(targets=config.pf_targets)
+        proposals.extend(pbs.propose(surrogate, problem, bounds))
+    return proposals

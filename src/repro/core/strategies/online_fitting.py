@@ -1,0 +1,202 @@
+"""Online Fitting Strategy (OFS, paper Section 4.2 / Algorithm 1).
+
+OFS is the *online* part of QROSS: it uses actual solver feedback on the
+instance being solved.  The observed ``(A, Pf)`` pairs are fitted with the
+sigmoid ansatz ``S(A) = 1 / (1 + exp(-A * theta_s + theta_o))`` (Eq. 7); new
+candidates are drawn uniformly from the region where the fitted sigmoid lies
+strictly between 0 and 1 — i.e. on the slope, where the paper's hypothesis
+places the optimal parameter.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Tuple
+
+import numpy as np
+from scipy import optimize
+
+from repro.tuning.base import ParameterBounds, TrialHistory
+from repro.utils.rng import RngLike, ensure_rng
+
+
+def sigmoid_ansatz(parameters: np.ndarray, theta_scale: float, theta_offset: float) -> np.ndarray:
+    """The paper's Eq. 7: ``1 / (1 + exp(-A * theta_s + theta_o))``."""
+    z = np.asarray(parameters, dtype=np.float64) * theta_scale - theta_offset
+    return 1.0 / (1.0 + np.exp(-np.clip(z, -60.0, 60.0)))
+
+
+@dataclass
+class SigmoidFit:
+    """Fitted ansatz parameters plus the slope region they imply."""
+
+    theta_scale: float
+    theta_offset: float
+
+    def __call__(self, parameters: np.ndarray) -> np.ndarray:
+        return sigmoid_ansatz(parameters, self.theta_scale, self.theta_offset)
+
+    def slope_region(self, low_probability: float = 0.02, high_probability: float = 0.98) -> Tuple[float, float]:
+        """Parameter interval where the fitted ``Pf`` lies in the given range."""
+        if self.theta_scale == 0:
+            raise ValueError("degenerate sigmoid fit (zero scale)")
+        logit_low = np.log(low_probability / (1.0 - low_probability))
+        logit_high = np.log(high_probability / (1.0 - high_probability))
+        a = (logit_low + self.theta_offset) / self.theta_scale
+        b = (logit_high + self.theta_offset) / self.theta_scale
+        return (a, b) if a <= b else (b, a)
+
+
+def fit_sigmoid(parameters: Iterable[float], probabilities: Iterable[float]) -> SigmoidFit:
+    """Least-squares fit of the sigmoid ansatz to observed ``(A, Pf)`` pairs.
+
+    Falls back to a moment-based initial guess when ``curve_fit`` cannot
+    converge (for example when every observation sits on the same plateau).
+    """
+    parameters = np.asarray(list(parameters), dtype=np.float64)
+    probabilities = np.asarray(list(probabilities), dtype=np.float64)
+    if parameters.size < 2:
+        raise ValueError("need at least two observations to fit the sigmoid")
+    if parameters.size != probabilities.size:
+        raise ValueError("parameters and probabilities must have the same length")
+
+    span = float(parameters.max() - parameters.min()) or 1.0
+    centre_guess = _transition_centre_guess(parameters, probabilities)
+    scale_guess = 4.0 / span
+    initial = (scale_guess, scale_guess * centre_guess)
+
+    def model(a: np.ndarray, theta_scale: float, theta_offset: float) -> np.ndarray:
+        return sigmoid_ansatz(a, theta_scale, theta_offset)
+
+    try:
+        with warnings.catch_warnings():
+            # curve_fit warns when the covariance cannot be estimated, which is
+            # expected with the handful of points available early in a run.
+            warnings.simplefilter("ignore", optimize.OptimizeWarning)
+            (theta_scale, theta_offset), _ = optimize.curve_fit(
+                model,
+                parameters,
+                np.clip(probabilities, 0.0, 1.0),
+                p0=initial,
+                maxfev=5000,
+            )
+        if not np.isfinite(theta_scale) or not np.isfinite(theta_offset) or theta_scale <= 0:
+            raise RuntimeError("non-finite or non-increasing fit")
+    except RuntimeError:
+        theta_scale, theta_offset = initial
+    return SigmoidFit(theta_scale=float(theta_scale), theta_offset=float(theta_offset))
+
+
+def _transition_centre_guess(parameters: np.ndarray, probabilities: np.ndarray) -> float:
+    """Initial guess of the sigmoid midpoint: where Pf crosses one half."""
+    order = np.argsort(parameters)
+    params = parameters[order]
+    probs = probabilities[order]
+    above = np.where(probs >= 0.5)[0]
+    below = np.where(probs < 0.5)[0]
+    if above.size and below.size:
+        return float((params[above[0]] + params[below[-1]]) / 2.0)
+    return float(params.mean())
+
+
+class OnlineFittingStrategy:
+    """Stateful implementation of the paper's Algorithm 1.
+
+    The strategy accumulates observed ``(A, Pf)`` pairs — including the ones
+    produced by earlier MFS / PBS trials, as the composed benchmark strategy
+    prescribes — refits the sigmoid after every observation and samples the
+    next candidate uniformly from the fitted slope region.
+
+    Parameters
+    ----------
+    bounds:
+        Global search bounds for the relaxation parameter.
+    slope_range:
+        ``(low, high)`` probabilities delimiting the slope region sampled from.
+    bisection_growth:
+        Factor used when expanding the search for the ``Pf = 0`` / ``Pf = 1``
+        plateau bounds (Algorithm 1, lines 1-2).
+    """
+
+    name = "OFS"
+
+    def __init__(
+        self,
+        bounds: ParameterBounds,
+        slope_range: tuple[float, float] = (0.02, 0.98),
+        bisection_growth: float = 2.0,
+        rng: RngLike = None,
+    ) -> None:
+        low, high = slope_range
+        if not (0.0 < low < high < 1.0):
+            raise ValueError("slope_range must satisfy 0 < low < high < 1")
+        if bisection_growth <= 1.0:
+            raise ValueError("bisection_growth must exceed 1")
+        self.bounds = bounds
+        self.slope_range = (low, high)
+        self.bisection_growth = bisection_growth
+        self.rng = ensure_rng(rng)
+        self._observations: List[Tuple[float, float]] = []
+        self._left_bound: Optional[float] = None  # largest A observed with Pf == 0
+        self._right_bound: Optional[float] = None  # smallest A observed with Pf == 1
+
+    # -------------------------------------------------------------- feedback
+    def observe(self, parameter: float, probability_of_feasibility: float) -> None:
+        """Record solver feedback for one evaluated parameter."""
+        self._observations.append((float(parameter), float(probability_of_feasibility)))
+        if probability_of_feasibility <= 0.0:
+            if self._left_bound is None or parameter > self._left_bound:
+                self._left_bound = float(parameter)
+        if probability_of_feasibility >= 1.0:
+            if self._right_bound is None or parameter < self._right_bound:
+                self._right_bound = float(parameter)
+
+    def observe_history(self, history: TrialHistory) -> None:
+        """Ingest every trial of an existing history (idempotent per call order)."""
+        for trial in history:
+            self.observe(trial.parameter, trial.probability_of_feasibility)
+
+    @property
+    def observations(self) -> List[Tuple[float, float]]:
+        return list(self._observations)
+
+    # -------------------------------------------------------------- proposals
+    def next_candidate(self) -> float:
+        """Propose the next relaxation parameter (Algorithm 1, lines 4-5)."""
+        if len(self._observations) < 2:
+            return self._bound_search_candidate()
+
+        parameters = np.array([a for a, _ in self._observations])
+        probabilities = np.array([p for _, p in self._observations])
+        if np.all(probabilities <= 0.0) or np.all(probabilities >= 1.0):
+            return self._bound_search_candidate()
+
+        fit = fit_sigmoid(parameters, probabilities)
+        low, high = fit.slope_region(*self.slope_range)
+        low = self.bounds.clip(low)
+        high = self.bounds.clip(high)
+        if high <= low:
+            low, high = self.bounds.low, self.bounds.high
+        return float(self.rng.uniform(low, high))
+
+    def _bound_search_candidate(self) -> float:
+        """Bracket the transition region before the sigmoid can be fitted.
+
+        Mirrors Algorithm 1 lines 1-2: halve the parameter until ``Pf = 0`` is
+        seen, grow it until ``Pf = 1`` is seen.
+        """
+        if self._observations:
+            last_parameter, last_probability = self._observations[-1]
+        else:
+            return float(np.sqrt(self.bounds.low * self.bounds.high))
+        if last_probability >= 1.0 and self._left_bound is None:
+            return self.bounds.clip(last_parameter / self.bisection_growth)
+        if last_probability <= 0.0 and self._right_bound is None:
+            return self.bounds.clip(last_parameter * self.bisection_growth)
+        # Both plateaus seen (or a mid-slope point observed): sample between them.
+        low = self._left_bound if self._left_bound is not None else self.bounds.low
+        high = self._right_bound if self._right_bound is not None else self.bounds.high
+        if high <= low:
+            low, high = self.bounds.low, self.bounds.high
+        return float(self.rng.uniform(low, high))

@@ -1,0 +1,108 @@
+"""High-level QROSS tuner.
+
+:class:`QROSSTuner` plugs the QROSS strategies into the same
+:class:`~repro.tuning.base.ParameterTuner` interface as the generic baselines:
+the first trial comes from MFS, the next trials from PBS at the configured
+feasibility targets (all without consuming solver feedback), and every further
+trial from the Online Fitting Strategy, which reuses the whole trial history
+for its sigmoid fit — exactly the composed strategy benchmarked in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.strategies.composed import ComposedStrategyConfig, offline_proposals
+from repro.core.strategies.online_fitting import OnlineFittingStrategy
+from repro.core.surrogate import SolverSurrogate
+from repro.problems.base import ConstrainedProblem
+from repro.tuning.base import ParameterBounds, ParameterTuner, TrialHistory, TrialResult
+from repro.utils.rng import RngLike
+
+
+class QROSSTuner(ParameterTuner):
+    """QROSS composed strategy behind the generic tuner interface.
+
+    Parameters
+    ----------
+    surrogate:
+        A trained :class:`~repro.core.surrogate.SolverSurrogate`.
+    problem:
+        The instance being tuned (one tuner instance per problem instance).
+    bounds:
+        Relaxation-parameter search bounds.
+    config:
+        Offline-proposal schedule (MFS on/off, PBS targets, batch size).
+    """
+
+    name = "QROSS"
+
+    def __init__(
+        self,
+        surrogate: SolverSurrogate,
+        problem: ConstrainedProblem,
+        bounds: ParameterBounds,
+        config: ComposedStrategyConfig | None = None,
+        rng: RngLike = None,
+    ) -> None:
+        super().__init__(bounds, rng)
+        if not surrogate.is_trained:
+            raise ValueError("QROSSTuner requires a trained surrogate")
+        self.surrogate = surrogate
+        self.problem = problem
+        self.config = config or ComposedStrategyConfig()
+        self._offline_queue: Optional[List[float]] = None
+        self._online = OnlineFittingStrategy(bounds, rng=self.rng)
+        self._observed_trials = 0
+
+    # ----------------------------------------------------------------- tuner
+    def _ensure_offline_queue(self) -> List[float]:
+        if self._offline_queue is None:
+            self._offline_queue = offline_proposals(
+                self.surrogate, self.problem, self.bounds, self.config
+            )
+        return self._offline_queue
+
+    def suggest(self, history: TrialHistory) -> float:
+        self._sync_online_state(history)
+        queue = self._ensure_offline_queue()
+        if len(history) < len(queue):
+            return self.bounds.clip(queue[len(history)])
+        return self.bounds.clip(self._online.next_candidate())
+
+    def observe(self, trial: TrialResult, history: TrialHistory) -> None:
+        self._online.observe(trial.parameter, trial.probability_of_feasibility)
+        self._observed_trials += 1
+
+    def _sync_online_state(self, history: TrialHistory) -> None:
+        """Feed any trials the tuner has not seen yet to the online strategy.
+
+        This keeps the tuner correct even when the caller never invokes
+        :meth:`observe` and only maintains the shared history object.
+        """
+        missing = history.trials[self._observed_trials :]
+        for trial in missing:
+            self._online.observe(trial.parameter, trial.probability_of_feasibility)
+        self._observed_trials = len(history)
+
+    def reset(self) -> None:
+        self._offline_queue = None
+        self._online = OnlineFittingStrategy(self.bounds, rng=self.rng)
+        self._observed_trials = 0
+
+    # ------------------------------------------------------------- utilities
+    def offline_candidates(self) -> List[float]:
+        """The zero-solver-call proposals (MFS + PBS) for this instance."""
+        return list(self._ensure_offline_queue())
+
+    def predicted_landscape(self, num_points: int = 128):
+        """Surrogate view of the instance: ``(parameters, Pf, Eavg, Estd)``.
+
+        This is the "predict the landscape of the objective function" feature
+        highlighted in the paper's introduction.
+        """
+        import numpy as np
+
+        grid = np.linspace(self.bounds.low, self.bounds.high, num_points)
+        prediction = self.surrogate.predict(self.problem, grid)
+        return prediction

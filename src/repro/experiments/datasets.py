@@ -1,0 +1,112 @@
+"""Dataset and surrogate construction helpers shared by every experiment."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.core.dataset import SamplingPlan, SurrogateDataset, collect_training_data
+from repro.core.features import TSPStatisticsExtractor
+from repro.core.surrogate import SolverSurrogate, SurrogateConfig
+from repro.experiments.profiles import ExperimentProfile
+from repro.problems.tsp.generator import SyntheticTSPConfig, generate_dataset
+from repro.problems.tsp.qubo import TSPProblem
+from repro.problems.tsp.tsplib import bundled_tsplib_suite
+from repro.solvers.base import QUBOSolver
+from repro.solvers.digital_annealer import DigitalAnnealerSolver
+from repro.solvers.qbsolv import QbsolvSolver
+from repro.solvers.simulated_annealing import SimulatedAnnealingSolver
+from repro.utils.rng import RngLike, ensure_rng
+
+
+def make_solver(profile: ExperimentProfile, backend: str) -> QUBOSolver:
+    """Construct a solver backend sized according to ``profile``.
+
+    ``backend`` is one of ``"da"`` (Digital-Annealer-style), ``"qbsolv"`` or
+    ``"sa"`` (plain simulated annealing).
+    """
+    backend = backend.lower()
+    if backend in ("da", "digital-annealer"):
+        return DigitalAnnealerSolver(profile.digital_annealer_config())
+    if backend == "qbsolv":
+        return QbsolvSolver(profile.qbsolv_config())
+    if backend in ("sa", "simulated-annealing"):
+        return SimulatedAnnealingSolver(profile.simulated_annealing_config())
+    raise ValueError(f"unknown solver backend {backend!r}")
+
+
+@dataclass(frozen=True)
+class ExperimentDatasets:
+    """Train/test problem splits used by the comparison experiments."""
+
+    train_problems: tuple[TSPProblem, ...]
+    test_problems: tuple[TSPProblem, ...]
+    tsplib_problems: tuple[TSPProblem, ...]
+
+
+def build_problems(profile: ExperimentProfile) -> ExperimentDatasets:
+    """Generate the synthetic train/test split and the TSPLIB-like suite."""
+    config = SyntheticTSPConfig(min_cities=profile.min_cities, max_cities=profile.max_cities)
+    total = profile.num_train_instances + profile.num_test_instances
+    instances = generate_dataset(total, config=config, rng=profile.seed)
+    train = instances[: profile.num_train_instances]
+    test = instances[profile.num_train_instances :]
+    tsplib = bundled_tsplib_suite(max_cities=profile.tsplib_max_cities, seed=profile.seed)
+    return ExperimentDatasets(
+        train_problems=tuple(TSPProblem(instance) for instance in train),
+        test_problems=tuple(TSPProblem(instance) for instance in test),
+        tsplib_problems=tuple(TSPProblem(instance) for instance in tsplib),
+    )
+
+
+def sampling_plan(profile: ExperimentProfile) -> SamplingPlan:
+    """Sampling plan for surrogate data collection derived from the profile."""
+    return SamplingPlan(
+        coarse_multipliers=profile.coarse_multipliers,
+        num_refinement_points=profile.num_refinement_points,
+        num_reads=profile.num_reads,
+    )
+
+
+def collect_surrogate_dataset(
+    problems: Sequence[TSPProblem],
+    solver: QUBOSolver,
+    profile: ExperimentProfile,
+    rng: RngLike = None,
+) -> SurrogateDataset:
+    """Run the solver over the training instances to build the surrogate dataset."""
+    rng = ensure_rng(rng if rng is not None else profile.seed)
+    extractor = TSPStatisticsExtractor()
+    return collect_training_data(
+        list(problems), solver, extractor=extractor, plan=sampling_plan(profile), rng=rng
+    )
+
+
+def train_surrogate(
+    dataset: SurrogateDataset,
+    profile: ExperimentProfile,
+    rng: RngLike = None,
+) -> SolverSurrogate:
+    """Train a solver surrogate on a collected dataset."""
+    surrogate = SolverSurrogate(
+        TSPStatisticsExtractor(),
+        config=SurrogateConfig(num_epochs=profile.surrogate_epochs),
+        rng=profile.seed if rng is None else rng,
+    )
+    surrogate.fit(dataset, rng=profile.seed if rng is None else rng)
+    return surrogate
+
+
+def train_surrogate_for_solver(
+    profile: ExperimentProfile,
+    backend: str,
+    train_problems: Sequence[TSPProblem] | None = None,
+    rng: RngLike = None,
+) -> tuple[SolverSurrogate, QUBOSolver, SurrogateDataset]:
+    """End-to-end helper: build datasets, collect solver data, train the surrogate."""
+    solver = make_solver(profile, backend)
+    if train_problems is None:
+        train_problems = build_problems(profile).train_problems
+    dataset = collect_surrogate_dataset(train_problems, solver, profile, rng=rng)
+    surrogate = train_surrogate(dataset, profile, rng=rng)
+    return surrogate, solver, dataset

@@ -1,0 +1,100 @@
+"""Optimality-gap metrics used by every comparison figure and Table 1.
+
+The paper reports the *normalised optimality gap*: the relative difference
+between the best feasible fitness found after a number of trials and the
+near-optimal fitness of the instance, averaged over instances.  Until a method
+finds its first feasible solution its gap is undefined; we follow the
+convention of charging a 100 % gap (1.0) so that methods proposing infeasible
+parameters are penalised rather than silently dropped from the average.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.tuning.base import TrialHistory
+
+#: Gap charged to a trial count at which no feasible solution has been found yet.
+INFEASIBLE_GAP = 1.0
+
+
+def optimality_gap(best_fitness: Optional[float], reference_fitness: float) -> float:
+    """Normalised gap ``(best - reference) / reference``; 1.0 when infeasible."""
+    if reference_fitness <= 0:
+        raise ValueError("reference_fitness must be positive")
+    if best_fitness is None:
+        return INFEASIBLE_GAP
+    return max(0.0, (best_fitness - reference_fitness) / reference_fitness)
+
+
+def gap_curve(history: TrialHistory, reference_fitness: float, num_trials: int) -> np.ndarray:
+    """Per-trial running optimality gap for one instance.
+
+    The curve has length ``num_trials``; if the history is shorter, the last
+    value is carried forward.
+    """
+    if num_trials <= 0:
+        raise ValueError("num_trials must be positive")
+    running = history.best_fitness_curve()
+    curve = np.empty(num_trials)
+    last = INFEASIBLE_GAP
+    for index in range(num_trials):
+        if index < len(running):
+            last = optimality_gap(running[index], reference_fitness)
+        curve[index] = last
+    return curve
+
+
+@dataclass(frozen=True)
+class GapSummary:
+    """Mean gap curve with a 95 % confidence band across instances."""
+
+    method: str
+    mean: np.ndarray
+    lower: np.ndarray
+    upper: np.ndarray
+    num_instances: int
+
+    def at_trial(self, trial_number: int) -> float:
+        """Mean gap after ``trial_number`` trials (1-based, clamped to the budget)."""
+        if trial_number < 1:
+            raise ValueError("trial_number is 1-based")
+        index = min(trial_number, self.mean.size) - 1
+        return float(self.mean[index])
+
+
+def summarise_gap_curves(method: str, curves: Sequence[np.ndarray]) -> GapSummary:
+    """Aggregate per-instance gap curves into mean and 95 % confidence band."""
+    if not curves:
+        raise ValueError("at least one curve is required")
+    matrix = np.vstack(curves)
+    mean = matrix.mean(axis=0)
+    if matrix.shape[0] > 1:
+        stderr = matrix.std(axis=0, ddof=1) / np.sqrt(matrix.shape[0])
+    else:
+        stderr = np.zeros_like(mean)
+    margin = 1.96 * stderr
+    return GapSummary(
+        method=method,
+        mean=mean,
+        lower=np.maximum(mean - margin, 0.0),
+        upper=mean + margin,
+        num_instances=matrix.shape[0],
+    )
+
+
+def gap_table_rows(
+    summaries: Dict[str, GapSummary],
+    trial_numbers: Sequence[int] = (3, 20),
+) -> List[dict]:
+    """Rows for a Table-1-style report: one row per method, one column per trial count."""
+    rows = []
+    for method, summary in summaries.items():
+        row = {"method": method}
+        for trial in trial_numbers:
+            row[f"gap@{trial}"] = summary.at_trial(trial)
+        rows.append(row)
+    return rows

@@ -1,0 +1,130 @@
+"""Plain-text rendering of experiment results (tables and simple curves).
+
+The reproduction runs in headless environments, so every figure/table is
+rendered as text: aligned tables for Table 1 and the comparison checkpoints,
+and a coarse ASCII line chart for the gap-vs-trials curves.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+import numpy as np
+
+from repro.experiments.figures import ComparisonFigure, Figure1Result, Figure6Result
+from repro.experiments.metrics import GapSummary
+from repro.experiments.tables import Table1Result
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[str]]) -> str:
+    """Render an aligned monospace table."""
+    rows = [list(map(str, row)) for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [
+        "  ".join(header.ljust(width) for header, width in zip(headers, widths)),
+        "  ".join("-" * width for width in widths),
+    ]
+    for row in rows:
+        lines.append("  ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_gap_summaries(summaries: Dict[str, GapSummary], checkpoints: Sequence[int] = (1, 3, 20)) -> str:
+    """Comparison checkpoints as a table (mean normalised gap per method)."""
+    headers = ["method"] + [f"gap@{trial}" for trial in checkpoints] + ["instances"]
+    rows = []
+    for method, summary in summaries.items():
+        rows.append(
+            [method]
+            + [f"{summary.at_trial(trial):.3f}" for trial in checkpoints]
+            + [str(summary.num_instances)]
+        )
+    return format_table(headers, rows)
+
+
+def format_comparison_figure(figure: ComparisonFigure, checkpoints: Sequence[int] = (1, 3, 20)) -> str:
+    """Header plus checkpoint table plus an ASCII curve for each method."""
+    summaries = figure.result.summaries()
+    lines = [figure.title, f"solver backend: {figure.solver_backend}, dataset: {figure.dataset_name}", ""]
+    lines.append(format_gap_summaries(summaries, checkpoints))
+    lines.append("")
+    for method, summary in summaries.items():
+        lines.append(f"{method}: " + sparkline(summary.mean))
+    return "\n".join(lines)
+
+
+def format_table1(result: Table1Result) -> str:
+    """Render Table 1 with the same layout as the paper."""
+    early, late = result.trial_checkpoints
+    headers = [
+        "solver",
+        "method",
+        f"synthetic #{early}",
+        f"synthetic #{late}",
+        f"tsplib #{early}",
+        f"tsplib #{late}",
+    ]
+    rows = [
+        [
+            row.solver,
+            row.method,
+            f"{row.synthetic_gap_at_3:.1%}",
+            f"{row.synthetic_gap_at_20:.1%}",
+            f"{row.tsplib_gap_at_3:.1%}",
+            f"{row.tsplib_gap_at_20:.1%}",
+        ]
+        for row in result.rows
+    ]
+    return format_table(headers, rows)
+
+
+def format_figure1(result: Figure1Result) -> str:
+    """Render the Fig. 1 sweeps as per-solver tables."""
+    lines = [f"Figure 1 landscape for instance {result.instance_name}"]
+    for label, series in result.series.items():
+        lines.append("")
+        lines.append(label)
+        rows = [
+            [f"{a:.3g}", f"{pf:.2f}", f"{emin:.4g}", "-" if np.isnan(fit) else f"{fit:.4g}"]
+            for a, pf, emin, fit in zip(
+                series.parameters,
+                series.probability_of_feasibility,
+                series.min_energy,
+                series.best_fitness,
+            )
+        ]
+        lines.append(format_table(["A", "Pf", "min energy", "best fitness"], rows))
+    return "\n".join(lines)
+
+
+def format_figure6(result: Figure6Result) -> str:
+    """Render the Fig. 6 penalty-weight sweep."""
+    headers = ["penalty weight"] + list(result.normalized_energy)
+    rows = []
+    for index, weight in enumerate(result.penalty_weights):
+        rows.append(
+            [f"{weight:g}"]
+            + [f"{values[index]:.4f}" for values in result.normalized_energy.values()]
+        )
+    return "Figure 6: MVC penalty weight vs normalised energy\n" + format_table(headers, rows)
+
+
+def sparkline(values: Sequence[float], width: int = 40) -> str:
+    """Coarse ASCII sparkline of a curve (higher block = larger value)."""
+    blocks = "▁▂▃▄▅▆▇█"
+    values = np.asarray(list(values), dtype=np.float64)
+    if values.size == 0:
+        return ""
+    if values.size > width:
+        # Downsample by averaging consecutive chunks.
+        chunks = np.array_split(values, width)
+        values = np.array([chunk.mean() for chunk in chunks])
+    low, high = float(values.min()), float(values.max())
+    if high - low < 1e-12:
+        return blocks[0] * values.size
+    scaled = (values - low) / (high - low)
+    indices = np.clip((scaled * (len(blocks) - 1)).round().astype(int), 0, len(blocks) - 1)
+    return "".join(blocks[i] for i in indices)

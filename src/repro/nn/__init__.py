@@ -1,0 +1,53 @@
+"""Minimal numpy neural-network substrate used by the solver surrogate."""
+
+from repro.nn.graph import GraphConvEncoder
+from repro.nn.initializers import glorot_uniform, he_normal, zeros
+from repro.nn.layers import (
+    Dense,
+    Dropout,
+    LayerNorm,
+    Module,
+    ReLU,
+    Sigmoid,
+    Softplus,
+    Tanh,
+    sigmoid,
+)
+from repro.nn.losses import BCEWithLogitsLoss, HuberLoss, Loss, MSELoss
+from repro.nn.network import Sequential, TrainingHistory, fit, iterate_minibatches, mlp
+from repro.nn.optimizers import SGD, Adam, Optimizer
+from repro.nn.parameter import Parameter
+from repro.nn.serialization import load_parameters, load_state_dict, save_parameters, state_dict
+
+__all__ = [
+    "Parameter",
+    "Module",
+    "Dense",
+    "ReLU",
+    "Tanh",
+    "Sigmoid",
+    "Softplus",
+    "Dropout",
+    "LayerNorm",
+    "sigmoid",
+    "Loss",
+    "MSELoss",
+    "HuberLoss",
+    "BCEWithLogitsLoss",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "Sequential",
+    "mlp",
+    "fit",
+    "iterate_minibatches",
+    "TrainingHistory",
+    "GraphConvEncoder",
+    "glorot_uniform",
+    "he_normal",
+    "zeros",
+    "state_dict",
+    "load_state_dict",
+    "load_parameters",
+    "save_parameters",
+]

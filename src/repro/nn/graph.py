@@ -1,0 +1,126 @@
+"""Graph-convolutional encoder producing fixed-size graph-level embeddings.
+
+Appendix C/G of the paper uses a pre-trained graph convolutional network (Joshi
+et al. 2019) as the TSP feature extractor and aggregates its edge-level features
+into graph-level ones.  Without that pre-trained PyTorch model we provide a
+small numpy GCN with the same *role*: it consumes the (normalised) distance
+matrix as a dense graph, runs a few rounds of neighbourhood aggregation over
+per-node features and mean/max-pools the node embeddings into a fixed-size
+vector.  It is an optional alternative to the hand-crafted statistics in
+:mod:`repro.core.features`; the surrogate accepts either.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.nn.layers import Dense, Module, ReLU
+from repro.nn.parameter import Parameter
+from repro.utils.rng import RngLike, ensure_rng
+
+
+class GraphConvEncoder(Module):
+    """Mean-aggregation GCN over dense weighted graphs.
+
+    The encoder is *not* trained jointly with the surrogate by default (the
+    paper likewise freezes its pre-trained extractor); it acts as a fixed random
+    projection of the graph structure, which is sufficient for the surrogate's
+    fully-connected head to pick up instance-level structure.
+
+    Parameters
+    ----------
+    node_feature_dim:
+        Number of per-node input features (see :meth:`node_features`).
+    hidden_dim:
+        Width of each graph-convolution layer.
+    num_layers:
+        Number of aggregation rounds.
+    """
+
+    def __init__(
+        self,
+        node_feature_dim: int = 4,
+        hidden_dim: int = 16,
+        num_layers: int = 2,
+        rng: RngLike = None,
+    ) -> None:
+        if num_layers <= 0:
+            raise ValueError("num_layers must be positive")
+        rng = ensure_rng(rng)
+        self.node_feature_dim = node_feature_dim
+        self.hidden_dim = hidden_dim
+        self.num_layers = num_layers
+        self._self_layers: List[Dense] = []
+        self._neighbour_layers: List[Dense] = []
+        in_dim = node_feature_dim
+        for index in range(num_layers):
+            self._self_layers.append(Dense(in_dim, hidden_dim, rng=rng, name=f"gcn{index}.self"))
+            self._neighbour_layers.append(
+                Dense(in_dim, hidden_dim, rng=rng, name=f"gcn{index}.neigh")
+            )
+            in_dim = hidden_dim
+        self._activation = ReLU()
+
+    # ------------------------------------------------------------------ sizes
+    @property
+    def embedding_dim(self) -> int:
+        """Size of the graph-level embedding (mean-pool + max-pool concatenation)."""
+        return 2 * self.hidden_dim
+
+    # ---------------------------------------------------------------- forward
+    @staticmethod
+    def node_features(distance_matrix: np.ndarray) -> np.ndarray:
+        """Per-node features derived from a normalised distance matrix.
+
+        Features: mean, min (excluding self), max distance to other nodes and
+        the node's share of the total distance mass.
+        """
+        D = np.asarray(distance_matrix, dtype=np.float64)
+        n = D.shape[0]
+        off_diag = D + np.eye(n) * D.max(initial=1.0)
+        total = D.sum() if D.sum() > 0 else 1.0
+        return np.column_stack(
+            [
+                D.mean(axis=1),
+                off_diag.min(axis=1),
+                D.max(axis=1),
+                D.sum(axis=1) / total,
+            ]
+        )
+
+    def encode(self, distance_matrix: np.ndarray) -> np.ndarray:
+        """Graph-level embedding of one instance's (normalised) distance matrix."""
+        D = np.asarray(distance_matrix, dtype=np.float64)
+        if D.ndim != 2 or D.shape[0] != D.shape[1]:
+            raise ValueError("distance_matrix must be square")
+        scale = D.max(initial=0.0)
+        if scale > 0:
+            D = D / scale
+        n = D.shape[0]
+        # Row-normalised affinity (closer nodes contribute more).
+        affinity = np.exp(-D)
+        np.fill_diagonal(affinity, 0.0)
+        row_sums = affinity.sum(axis=1, keepdims=True)
+        row_sums[row_sums == 0] = 1.0
+        affinity = affinity / row_sums
+
+        h = self.node_features(D)
+        for self_layer, neighbour_layer in zip(self._self_layers, self._neighbour_layers):
+            aggregated = affinity @ h
+            h = self._activation.forward(self_layer.forward(h) + neighbour_layer.forward(aggregated))
+        return np.concatenate([h.mean(axis=0), h.max(axis=0)])
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        """Alias of :meth:`encode` for the :class:`Module` interface."""
+        return self.encode(inputs)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:  # pragma: no cover - frozen encoder
+        raise NotImplementedError("GraphConvEncoder is used as a frozen feature extractor")
+
+    def parameters(self) -> List[Parameter]:
+        params: List[Parameter] = []
+        for layer in [*self._self_layers, *self._neighbour_layers]:
+            params.extend(layer.parameters())
+        return params

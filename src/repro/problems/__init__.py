@@ -1,0 +1,5 @@
+"""Problem substrates: constrained combinatorial problems with QUBO relaxations."""
+
+from repro.problems.base import ConstrainedProblem
+
+__all__ = ["ConstrainedProblem"]

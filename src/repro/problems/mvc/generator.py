@@ -1,0 +1,76 @@
+"""Random MVC instance generation.
+
+The Appendix B experiment uses Erdős–Rényi graphs with 65 vertices, 50 % edge
+probability and vertex weights uniform on ``[0, 1)``; those are the defaults
+here (65 being the largest complete graph embeddable on the DW_2000Q chimera
+topology).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.problems.mvc.instance import MVCInstance
+from repro.utils.rng import RngLike, ensure_rng
+
+
+@dataclass(frozen=True)
+class RandomMVCConfig:
+    """Configuration of the random graph generator."""
+
+    num_vertices: int = 65
+    edge_probability: float = 0.5
+    weighted: bool = True
+
+    def __post_init__(self) -> None:
+        if self.num_vertices < 2:
+            raise ValueError("num_vertices must be at least 2")
+        if not (0.0 < self.edge_probability <= 1.0):
+            raise ValueError("edge_probability must lie in (0, 1]")
+
+
+def generate_mvc_instance(
+    config: RandomMVCConfig | None = None,
+    rng: RngLike = None,
+    name: str | None = None,
+) -> MVCInstance:
+    """Generate one Erdős–Rényi weighted MVC instance."""
+    config = config or RandomMVCConfig()
+    rng = ensure_rng(rng)
+    n = config.num_vertices
+    upper = rng.random((n, n)) < config.edge_probability
+    upper = np.triu(upper, k=1)
+    adjacency = upper | upper.T
+    # Isolated vertices are legal but make the instance degenerate; connect them
+    # to a random neighbour so every vertex participates in at least one edge.
+    degrees = adjacency.sum(axis=1)
+    for vertex in np.where(degrees == 0)[0]:
+        other = int(rng.integers(0, n - 1))
+        other = other if other < vertex else other + 1
+        adjacency[vertex, other] = adjacency[other, vertex] = True
+    weights = rng.random(n) if config.weighted else np.ones(n)
+    instance = MVCInstance(
+        adjacency=adjacency,
+        weights=weights,
+        name=name or f"mvc-er-{n}-{config.edge_probability:.2f}",
+    )
+    instance.metadata["edge_probability"] = config.edge_probability
+    return instance
+
+
+def generate_mvc_dataset(
+    num_instances: int,
+    config: RandomMVCConfig | None = None,
+    rng: RngLike = None,
+) -> List[MVCInstance]:
+    """Generate several independent random MVC instances."""
+    if num_instances <= 0:
+        raise ValueError("num_instances must be positive")
+    rng = ensure_rng(rng)
+    return [
+        generate_mvc_instance(config=config, rng=rng, name=f"mvc-{index:03d}")
+        for index in range(num_instances)
+    ]

@@ -1,0 +1,83 @@
+"""Weighted Minimum Vertex Cover instances (paper Appendix B)."""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+
+@dataclass
+class MVCInstance:
+    """An undirected graph with vertex weights.
+
+    Parameters
+    ----------
+    adjacency:
+        Symmetric boolean adjacency matrix with a ``False`` diagonal.
+    weights:
+        Per-vertex weights; defaults to all ones (unweighted MVC).
+    name:
+        Instance label.
+    """
+
+    adjacency: np.ndarray
+    weights: Optional[np.ndarray] = None
+    name: str = "mvc"
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        adjacency = np.asarray(self.adjacency, dtype=bool)
+        if adjacency.ndim != 2 or adjacency.shape[0] != adjacency.shape[1]:
+            raise ValueError(f"adjacency must be square, got shape {adjacency.shape}")
+        if not np.array_equal(adjacency, adjacency.T):
+            raise ValueError("adjacency must be symmetric")
+        if np.any(np.diag(adjacency)):
+            raise ValueError("adjacency must have no self-loops")
+        self.adjacency = adjacency
+        if self.weights is None:
+            self.weights = np.ones(adjacency.shape[0], dtype=np.float64)
+        else:
+            weights = np.asarray(self.weights, dtype=np.float64)
+            if weights.shape != (adjacency.shape[0],):
+                raise ValueError("weights must have one entry per vertex")
+            if np.any(weights < 0):
+                raise ValueError("weights must be non-negative")
+            self.weights = weights
+
+    @property
+    def num_vertices(self) -> int:
+        return int(self.adjacency.shape[0])
+
+    @property
+    def num_edges(self) -> int:
+        return int(self.adjacency.sum()) // 2
+
+    def edges(self) -> np.ndarray:
+        """Array of undirected edges as ``(i, j)`` pairs with ``i < j``."""
+        i, j = np.where(np.triu(self.adjacency, k=1))
+        return np.column_stack([i, j])
+
+    def is_vertex_cover(self, selection: np.ndarray) -> bool:
+        """Whether the 0/1 vector ``selection`` covers every edge."""
+        selection = np.asarray(selection).astype(bool)
+        if selection.shape != (self.num_vertices,):
+            raise ValueError("selection must have one entry per vertex")
+        edges = self.edges()
+        if edges.size == 0:
+            return True
+        return bool(np.all(selection[edges[:, 0]] | selection[edges[:, 1]]))
+
+    def cover_weight(self, selection: np.ndarray) -> float:
+        """Total weight of the selected vertices."""
+        selection = np.asarray(selection).astype(bool)
+        return float(self.weights[selection].sum())
+
+    def fingerprint(self) -> str:
+        """Stable content hash usable as a cache key."""
+        digest = hashlib.sha256()
+        digest.update(np.ascontiguousarray(self.adjacency.astype(np.int8)).tobytes())
+        digest.update(np.ascontiguousarray(self.weights).tobytes())
+        return digest.hexdigest()[:16]

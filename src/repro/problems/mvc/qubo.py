@@ -1,0 +1,75 @@
+"""QUBO relaxation of weighted Minimum Vertex Cover (paper Appendix B).
+
+The relaxation is ``sum_i w_i x_i + sigma * sum_{(i,j) in E} (1 - x_i - x_j + x_i x_j)``
+where ``sigma`` is the penalty weight.  Any ``sigma > max_i w_i`` makes every
+optimal QUBO solution a feasible cover in exact arithmetic; Appendix B shows
+that on real (noisy / finite-precision) solvers, pushing ``sigma`` far beyond
+that threshold degrades solution quality — which is what Fig. 6 measures.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.problems.base import ConstrainedProblem
+from repro.problems.mvc.instance import MVCInstance
+from repro.qubo.builder import PenaltyQUBOBuilder
+from repro.qubo.model import QUBOModel
+
+
+class MVCProblem(ConstrainedProblem):
+    """Penalty-relaxed QUBO view of a weighted MVC instance."""
+
+    def __init__(self, instance: MVCInstance) -> None:
+        self.instance = instance
+        self.name = instance.name
+        self._builder: Optional[PenaltyQUBOBuilder] = None
+
+    # ------------------------------------------------------------------ QUBO
+    @property
+    def num_qubo_variables(self) -> int:
+        return self.instance.num_vertices
+
+    def builder(self) -> PenaltyQUBOBuilder:
+        if self._builder is None:
+            self._builder = PenaltyQUBOBuilder(self._objective_qubo(), self._penalty_qubo())
+        return self._builder
+
+    def _objective_qubo(self) -> QUBOModel:
+        """``sum_i w_i x_i`` on the diagonal."""
+        Q = np.diag(self.instance.weights.astype(np.float64))
+        return QUBOModel(Q, name=f"{self.name}-objective")
+
+    def _penalty_qubo(self) -> QUBOModel:
+        """``sum_{(i,j) in E} (1 - x_i - x_j + x_i x_j)``: zero iff every edge is covered."""
+        n = self.instance.num_vertices
+        Q = np.zeros((n, n))
+        edges = self.instance.edges()
+        offset = float(edges.shape[0])
+        for i, j in edges:
+            Q[i, i] -= 1.0
+            Q[j, j] -= 1.0
+            Q[i, j] += 0.5
+            Q[j, i] += 0.5
+        return QUBOModel(Q, offset=offset, name=f"{self.name}-penalty")
+
+    # ------------------------------------------------------------- solutions
+    def is_feasible(self, assignment: np.ndarray) -> bool:
+        return self.instance.is_vertex_cover(assignment)
+
+    def fitness(self, assignment: np.ndarray) -> float:
+        if not self.is_feasible(assignment):
+            raise ValueError("assignment is not a vertex cover")
+        return self.instance.cover_weight(assignment)
+
+    # -------------------------------------------------------------- metadata
+    def relaxation_scale(self) -> float:
+        """The feasibility threshold ``max_i w_i`` (Appendix B)."""
+        return float(self.instance.weights.max())
+
+    def reference_fitness(self) -> Optional[float]:
+        from repro.problems.mvc.heuristics import best_known_cover_weight
+
+        return best_known_cover_weight(self.instance)

@@ -1,0 +1,52 @@
+"""Travelling Salesman Problem substrate: instances, QUBO relaxation, datasets, heuristics."""
+
+from repro.problems.tsp.generator import (
+    SyntheticTSPConfig,
+    TrainTestSplit,
+    generate_dataset,
+    generate_instance,
+    paper_synthetic_dataset,
+    train_test_split,
+)
+from repro.problems.tsp.heuristics import (
+    brute_force_optimal_tour,
+    held_karp_optimal_tour,
+    nearest_neighbour_tour,
+    reference_tour_length,
+    two_opt,
+)
+from repro.problems.tsp.instance import TSPInstance
+from repro.problems.tsp.preprocessing import MVODMResult, minimise_distance_variance
+from repro.problems.tsp.qubo import TSPProblem, assignment_from_tour, decode_assignment
+from repro.problems.tsp.tsplib import (
+    BUNDLED_SUITE_SPEC,
+    bundled_tsplib_suite,
+    load_tsplib_file,
+    parse_tsplib,
+    write_tsplib_file,
+)
+
+__all__ = [
+    "TSPInstance",
+    "TSPProblem",
+    "decode_assignment",
+    "assignment_from_tour",
+    "SyntheticTSPConfig",
+    "TrainTestSplit",
+    "generate_instance",
+    "generate_dataset",
+    "train_test_split",
+    "paper_synthetic_dataset",
+    "nearest_neighbour_tour",
+    "two_opt",
+    "held_karp_optimal_tour",
+    "brute_force_optimal_tour",
+    "reference_tour_length",
+    "MVODMResult",
+    "minimise_distance_variance",
+    "parse_tsplib",
+    "load_tsplib_file",
+    "write_tsplib_file",
+    "bundled_tsplib_suite",
+    "BUNDLED_SUITE_SPEC",
+]

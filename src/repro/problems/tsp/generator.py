@@ -1,0 +1,167 @@
+"""Synthetic TSP instance generation (paper Appendix D).
+
+The paper's training set is 300 synthetic instances with 20-30 cities whose
+coordinates are drawn either from a uniform distribution on a bounded square or
+from an exponential distribution whose rate is itself drawn uniformly from a
+range.  This module reproduces that generator and provides dataset helpers for
+building train/test splits of arbitrary (scaled-down) size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Literal, Sequence
+
+import numpy as np
+
+from repro.problems.tsp.instance import TSPInstance
+from repro.utils.rng import RngLike, ensure_rng
+
+CoordinateDistribution = Literal["uniform", "exponential", "clustered", "ring", "grid"]
+
+
+@dataclass(frozen=True)
+class SyntheticTSPConfig:
+    """Configuration of the synthetic generator.
+
+    Parameters
+    ----------
+    min_cities, max_cities:
+        Inclusive range of instance sizes (paper: 20-30).
+    domain_size:
+        Side length of the bounding square for uniform coordinates.
+    exponential_scale_range:
+        Range the exponential distribution's scale is drawn from.
+    distributions:
+        Coordinate distributions to cycle through.
+    """
+
+    min_cities: int = 20
+    max_cities: int = 30
+    domain_size: float = 100.0
+    exponential_scale_range: tuple[float, float] = (10.0, 50.0)
+    distributions: tuple[CoordinateDistribution, ...] = ("uniform", "exponential")
+
+    def __post_init__(self) -> None:
+        if self.min_cities < 3:
+            raise ValueError("min_cities must be at least 3")
+        if self.max_cities < self.min_cities:
+            raise ValueError("max_cities must be >= min_cities")
+        if self.domain_size <= 0:
+            raise ValueError("domain_size must be positive")
+        low, high = self.exponential_scale_range
+        if low <= 0 or high < low:
+            raise ValueError("exponential_scale_range must be a positive increasing pair")
+        if not self.distributions:
+            raise ValueError("at least one coordinate distribution is required")
+
+
+def _sample_coordinates(
+    distribution: CoordinateDistribution,
+    num_cities: int,
+    config: SyntheticTSPConfig,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    if distribution == "uniform":
+        return rng.uniform(0.0, config.domain_size, size=(num_cities, 2))
+    if distribution == "exponential":
+        scale = rng.uniform(*config.exponential_scale_range)
+        return rng.exponential(scale, size=(num_cities, 2))
+    if distribution == "clustered":
+        num_clusters = max(2, num_cities // 8)
+        centres = rng.uniform(0.0, config.domain_size, size=(num_clusters, 2))
+        assignment = rng.integers(0, num_clusters, size=num_cities)
+        jitter = rng.normal(0.0, config.domain_size * 0.05, size=(num_cities, 2))
+        return centres[assignment] + jitter
+    if distribution == "ring":
+        angles = np.sort(rng.uniform(0.0, 2 * np.pi, size=num_cities))
+        radius = config.domain_size / 2.0
+        jitter = rng.normal(0.0, radius * 0.05, size=(num_cities, 2))
+        coords = radius * np.column_stack([np.cos(angles), np.sin(angles)]) + jitter
+        return coords + radius
+    if distribution == "grid":
+        side = int(np.ceil(np.sqrt(num_cities)))
+        xs, ys = np.meshgrid(np.arange(side), np.arange(side))
+        points = np.column_stack([xs.ravel(), ys.ravel()])[:num_cities].astype(np.float64)
+        spacing = config.domain_size / max(side - 1, 1)
+        jitter = rng.normal(0.0, spacing * 0.1, size=(num_cities, 2))
+        return points * spacing + jitter
+    raise ValueError(f"unknown coordinate distribution: {distribution!r}")
+
+
+def generate_instance(
+    num_cities: int,
+    distribution: CoordinateDistribution = "uniform",
+    config: SyntheticTSPConfig | None = None,
+    rng: RngLike = None,
+    name: str | None = None,
+) -> TSPInstance:
+    """Generate one synthetic Euclidean instance."""
+    config = config or SyntheticTSPConfig()
+    if num_cities < 3:
+        raise ValueError("num_cities must be at least 3")
+    rng = ensure_rng(rng)
+    coords = _sample_coordinates(distribution, num_cities, config, rng)
+    instance_name = name or f"synthetic-{distribution}-{num_cities}"
+    instance = TSPInstance.from_coordinates(coords, name=instance_name)
+    instance.metadata["distribution"] = distribution
+    return instance
+
+
+def generate_dataset(
+    num_instances: int,
+    config: SyntheticTSPConfig | None = None,
+    rng: RngLike = None,
+    name_prefix: str = "synthetic",
+) -> List[TSPInstance]:
+    """Generate a dataset of synthetic instances cycling through the distributions."""
+    if num_instances <= 0:
+        raise ValueError("num_instances must be positive")
+    config = config or SyntheticTSPConfig()
+    rng = ensure_rng(rng)
+    instances = []
+    for index in range(num_instances):
+        distribution = config.distributions[index % len(config.distributions)]
+        num_cities = int(rng.integers(config.min_cities, config.max_cities + 1))
+        instance = generate_instance(
+            num_cities,
+            distribution=distribution,
+            config=config,
+            rng=rng,
+            name=f"{name_prefix}-{index:04d}-{distribution}-{num_cities}",
+        )
+        instances.append(instance)
+    return instances
+
+
+@dataclass(frozen=True)
+class TrainTestSplit:
+    """A reproducible split of a dataset into training and test instances."""
+
+    train: tuple[TSPInstance, ...]
+    test: tuple[TSPInstance, ...]
+
+
+def train_test_split(
+    instances: Sequence[TSPInstance],
+    test_fraction: float = 0.1,
+    rng: RngLike = None,
+) -> TrainTestSplit:
+    """Shuffle ``instances`` and split off ``test_fraction`` of them for testing."""
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError("test_fraction must lie in (0, 1)")
+    if len(instances) < 2:
+        raise ValueError("need at least two instances to split")
+    rng = ensure_rng(rng)
+    order = rng.permutation(len(instances))
+    num_test = max(1, int(round(test_fraction * len(instances))))
+    test_idx = set(order[:num_test].tolist())
+    train = tuple(inst for i, inst in enumerate(instances) if i not in test_idx)
+    test = tuple(inst for i, inst in enumerate(instances) if i in test_idx)
+    return TrainTestSplit(train=train, test=test)
+
+
+def paper_synthetic_dataset(rng: RngLike = 7, num_instances: int = 300) -> TrainTestSplit:
+    """The paper's synthetic dataset: 300 instances of 20-30 cities, 270/30 split."""
+    instances = generate_dataset(num_instances, config=SyntheticTSPConfig(), rng=rng)
+    return train_test_split(instances, test_fraction=0.1, rng=rng)

@@ -1,0 +1,147 @@
+"""Classical TSP heuristics and exact solving for small instances.
+
+These are *reference* algorithms: the experiment harness needs a near-optimal
+tour length per instance to report the normalised optimality gap (Figs. 3-4,
+Table 1), and the tests need ground truth for tiny instances.  None of these
+are used by QROSS itself.
+"""
+
+from __future__ import annotations
+
+from itertools import permutations
+from typing import Optional
+
+import numpy as np
+
+from repro.problems.tsp.instance import TSPInstance
+from repro.utils.rng import RngLike, ensure_rng
+
+
+def nearest_neighbour_tour(instance: TSPInstance, start: int = 0) -> np.ndarray:
+    """Greedy nearest-neighbour construction starting from ``start``."""
+    n = instance.num_cities
+    if not (0 <= start < n):
+        raise ValueError(f"start must be in [0, {n}), got {start}")
+    distances = instance.distances
+    unvisited = np.ones(n, dtype=bool)
+    unvisited[start] = False
+    tour = [start]
+    current = start
+    for _ in range(n - 1):
+        candidates = np.where(unvisited)[0]
+        nxt = candidates[np.argmin(distances[current, candidates])]
+        tour.append(int(nxt))
+        unvisited[nxt] = False
+        current = int(nxt)
+    return np.array(tour, dtype=np.int64)
+
+
+def two_opt(instance: TSPInstance, tour: np.ndarray, max_rounds: int = 50) -> np.ndarray:
+    """First-improvement 2-opt local search until no improving move remains."""
+    tour = np.asarray(tour, dtype=np.int64).copy()
+    n = instance.num_cities
+    distances = instance.distances
+    for _ in range(max_rounds):
+        improved = False
+        for i in range(n - 1):
+            a, b = tour[i], tour[i + 1]
+            # j + 1 wraps around to the tour start.
+            for j in range(i + 2, n):
+                c, d = tour[j], tour[(j + 1) % n]
+                if d == a:
+                    continue
+                delta = (
+                    distances[a, c] + distances[b, d] - distances[a, b] - distances[c, d]
+                )
+                if delta < -1e-12:
+                    tour[i + 1 : j + 1] = tour[i + 1 : j + 1][::-1]
+                    improved = True
+                    a, b = tour[i], tour[i + 1]
+        if not improved:
+            break
+    return tour
+
+
+def held_karp_optimal_tour(instance: TSPInstance) -> tuple[np.ndarray, float]:
+    """Exact dynamic-programming solution (Held–Karp); practical for n <= 13."""
+    n = instance.num_cities
+    if n > 13:
+        raise ValueError("Held-Karp is limited to 13 cities in this implementation")
+    distances = instance.distances
+    full_mask = (1 << (n - 1)) - 1  # subsets of cities 1..n-1
+    dp = np.full((1 << (n - 1), n - 1), np.inf)
+    parent = np.full((1 << (n - 1), n - 1), -1, dtype=np.int64)
+    for j in range(n - 1):
+        dp[1 << j, j] = distances[0, j + 1]
+    for mask in range(1, full_mask + 1):
+        for j in range(n - 1):
+            if not mask & (1 << j) or not np.isfinite(dp[mask, j]):
+                continue
+            for k in range(n - 1):
+                if mask & (1 << k):
+                    continue
+                new_mask = mask | (1 << k)
+                cost = dp[mask, j] + distances[j + 1, k + 1]
+                if cost < dp[new_mask, k]:
+                    dp[new_mask, k] = cost
+                    parent[new_mask, k] = j
+    best_cost = np.inf
+    best_last = -1
+    for j in range(n - 1):
+        cost = dp[full_mask, j] + distances[j + 1, 0]
+        if cost < best_cost:
+            best_cost = cost
+            best_last = j
+    # Reconstruct the tour backwards from the best final city.
+    tour = [0]
+    mask, j = full_mask, best_last
+    suffix = []
+    while j >= 0:
+        suffix.append(j + 1)
+        prev = parent[mask, j]
+        mask ^= 1 << j
+        j = prev
+    tour.extend(reversed(suffix))
+    return np.array(tour, dtype=np.int64), float(best_cost)
+
+
+def brute_force_optimal_tour(instance: TSPInstance) -> tuple[np.ndarray, float]:
+    """Exhaustive search; only sensible for n <= 9 (testing aid)."""
+    n = instance.num_cities
+    if n > 9:
+        raise ValueError("brute force is limited to 9 cities")
+    best_tour: Optional[np.ndarray] = None
+    best_length = np.inf
+    for perm in permutations(range(1, n)):
+        tour = np.array((0,) + perm, dtype=np.int64)
+        length = instance.tour_length(tour)
+        if length < best_length:
+            best_length = length
+            best_tour = tour
+    assert best_tour is not None
+    return best_tour, float(best_length)
+
+
+def reference_tour_length(
+    instance: TSPInstance,
+    num_starts: int = 5,
+    rng: RngLike = None,
+) -> float:
+    """Near-optimal tour length used to normalise optimality gaps.
+
+    Uses the instance's best-known length when available, the exact Held–Karp
+    value for very small instances, and multi-start nearest-neighbour + 2-opt
+    otherwise.
+    """
+    if instance.best_known_length is not None:
+        return float(instance.best_known_length)
+    if instance.num_cities <= 12:
+        _, length = held_karp_optimal_tour(instance)
+        return length
+    rng = ensure_rng(rng)
+    starts = rng.choice(instance.num_cities, size=min(num_starts, instance.num_cities), replace=False)
+    best = np.inf
+    for start in starts:
+        tour = two_opt(instance, nearest_neighbour_tour(instance, start=int(start)))
+        best = min(best, instance.tour_length(tour))
+    return float(best)

@@ -1,0 +1,141 @@
+"""QUBO relaxation of the TSP (Lucas 2014 formulation, paper Eqs. 4-6).
+
+An ``n``-city instance uses ``n^2`` binary variables ``x[v, j]`` ("city ``v``
+is visited at position ``j``").  The relaxed QUBO is ``H_B + A * H_A`` with
+
+* ``H_B = sum_{u != v} d_uv sum_j x[u, j] x[v, j+1]`` — the tour length, and
+* ``H_A = sum_v (1 - sum_j x[v, j])^2 + sum_j (1 - sum_v x[v, j])^2`` — the
+  permutation constraints,
+
+where position indices wrap around (``j + 1`` is taken modulo ``n``).
+Variable ``x[v, j]`` is flattened to index ``v * n + j``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.problems.base import ConstrainedProblem
+from repro.problems.tsp.instance import TSPInstance
+from repro.problems.tsp.preprocessing import MVODMResult, minimise_distance_variance
+from repro.qubo.builder import LinearConstraints, PenaltyQUBOBuilder
+from repro.qubo.model import QUBOModel
+
+
+def decode_assignment(assignment: np.ndarray, num_cities: int) -> Optional[np.ndarray]:
+    """Decode a flat binary assignment into a tour, or ``None`` if infeasible.
+
+    The assignment is feasible when every city occupies exactly one position
+    and every position holds exactly one city (a permutation matrix).
+    """
+    x = np.asarray(assignment).reshape(num_cities, num_cities)
+    if not np.all((x == 0) | (x == 1)):
+        raise ValueError("assignment must be binary")
+    if not np.all(x.sum(axis=0) == 1) or not np.all(x.sum(axis=1) == 1):
+        return None
+    # Column j holds exactly one 1; its row index is the city visited at j.
+    return np.argmax(x, axis=0).astype(np.int64)
+
+
+def assignment_from_tour(tour: np.ndarray, num_cities: int) -> np.ndarray:
+    """Inverse of :func:`decode_assignment`: one-hot encode a tour."""
+    tour = np.asarray(tour, dtype=np.int64)
+    if sorted(tour.tolist()) != list(range(num_cities)):
+        raise ValueError("tour must be a permutation of all cities")
+    x = np.zeros((num_cities, num_cities), dtype=np.int8)
+    x[tour, np.arange(num_cities)] = 1
+    return x.reshape(-1)
+
+
+class TSPProblem(ConstrainedProblem):
+    """Penalty-relaxed QUBO view of a :class:`TSPInstance`.
+
+    Parameters
+    ----------
+    instance:
+        The TSP instance to relax.
+    use_mvodm_preprocessing:
+        Apply Minimising-the-Variance-Of-the-Distance-Matrix preprocessing
+        (paper Appendix E) before building ``H_B``.  Fitness values are always
+        reported against the *original* distances.
+    """
+
+    def __init__(self, instance: TSPInstance, use_mvodm_preprocessing: bool = False) -> None:
+        self.instance = instance
+        self.name = instance.name
+        self.use_mvodm_preprocessing = use_mvodm_preprocessing
+        self._mvodm: Optional[MVODMResult] = None
+        working = instance
+        if use_mvodm_preprocessing:
+            self._mvodm = minimise_distance_variance(instance)
+            working = self._mvodm.transformed_instance
+        self._working_instance = working
+        self._builder: Optional[PenaltyQUBOBuilder] = None
+
+    # ------------------------------------------------------------------ QUBO
+    @property
+    def num_cities(self) -> int:
+        return self.instance.num_cities
+
+    @property
+    def num_qubo_variables(self) -> int:
+        return self.num_cities**2
+
+    def builder(self) -> PenaltyQUBOBuilder:
+        if self._builder is None:
+            objective = self._objective_qubo()
+            constraints = self._constraints()
+            self._builder = PenaltyQUBOBuilder(objective, constraints)
+        return self._builder
+
+    def _objective_qubo(self) -> QUBOModel:
+        """``H_B`` as a Kronecker product of the distance matrix and a cyclic shift."""
+        n = self.num_cities
+        distances = np.asarray(self._working_instance.distances)
+        shift = np.zeros((n, n))
+        shift[np.arange(n), (np.arange(n) + 1) % n] = 1.0
+        Q = np.kron(distances, shift)
+        return QUBOModel(Q, name=f"{self.name}-objective")
+
+    def _constraints(self) -> LinearConstraints:
+        """Permutation constraints: each city once, each position once."""
+        n = self.num_cities
+        C = np.zeros((2 * n, n * n))
+        for v in range(n):
+            C[v, v * n : (v + 1) * n] = 1.0  # city v appears at exactly one position
+        for j in range(n):
+            C[n + j, j::n] = 1.0  # position j holds exactly one city
+        d = np.ones(2 * n)
+        return LinearConstraints(C=C, d=d)
+
+    # ------------------------------------------------------------- solutions
+    def decode(self, assignment: np.ndarray) -> Optional[np.ndarray]:
+        """Tour encoded by ``assignment`` or ``None`` when infeasible."""
+        return decode_assignment(assignment, self.num_cities)
+
+    def is_feasible(self, assignment: np.ndarray) -> bool:
+        return self.decode(assignment) is not None
+
+    def fitness(self, assignment: np.ndarray) -> float:
+        """Tour length *under the original distances* of a feasible assignment."""
+        tour = self.decode(assignment)
+        if tour is None:
+            raise ValueError("assignment does not encode a feasible tour")
+        return self.instance.tour_length(tour)
+
+    # -------------------------------------------------------------- metadata
+    def relaxation_scale(self) -> float:
+        """Largest working distance — the order of magnitude where ``Pf`` transitions."""
+        return float(np.max(self._working_instance.distances))
+
+    def reference_fitness(self) -> Optional[float]:
+        from repro.problems.tsp.heuristics import reference_tour_length
+
+        return reference_tour_length(self.instance, rng=0)
+
+    @property
+    def mvodm_result(self) -> Optional[MVODMResult]:
+        """Details of the MVODM preprocessing, when enabled."""
+        return self._mvodm

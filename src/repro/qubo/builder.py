@@ -1,0 +1,151 @@
+"""Penalty-based QUBO construction for linearly-constrained binary programmes.
+
+The paper's starting point is the relaxation
+
+.. math::
+
+    \\min_{x \\in \\{0,1\\}^n} x^T Q x \\quad \\text{s.t. } Cx = d
+    \\;\\longrightarrow\\;
+    \\min_{x \\in \\{0,1\\}^n} x^T Q x + A \\, \\lVert Cx - d \\rVert^2
+
+where ``A`` is the relaxation (penalty) parameter QROSS tunes.  This module
+provides that conversion for arbitrary linear equality constraints, plus a
+small helper for inequality constraints via slack variables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.qubo.model import QUBOModel
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class LinearConstraints:
+    """Equality constraints ``C x = d`` over binary variables."""
+
+    C: np.ndarray
+    d: np.ndarray
+
+    def __post_init__(self) -> None:
+        C = np.asarray(self.C, dtype=np.float64)
+        d = np.asarray(self.d, dtype=np.float64)
+        if C.ndim != 2:
+            raise ValueError(f"C must be 2-D, got shape {C.shape}")
+        if d.shape != (C.shape[0],):
+            raise ValueError(f"d must have shape ({C.shape[0]},), got {d.shape}")
+        object.__setattr__(self, "C", C)
+        object.__setattr__(self, "d", d)
+
+    @property
+    def num_constraints(self) -> int:
+        return int(self.C.shape[0])
+
+    @property
+    def num_variables(self) -> int:
+        return int(self.C.shape[1])
+
+    def violation(self, x: np.ndarray) -> float:
+        """Squared Euclidean violation ``||Cx - d||^2`` of an assignment."""
+        x = np.asarray(x, dtype=np.float64)
+        residual = self.C @ x - self.d
+        return float(residual @ residual)
+
+    def is_satisfied(self, x: np.ndarray, tol: float = 1e-9) -> bool:
+        """Whether ``x`` satisfies every constraint within ``tol``."""
+        return self.violation(x) <= tol
+
+    def penalty_qubo(self) -> QUBOModel:
+        """QUBO whose energy equals ``||Cx - d||^2`` for binary ``x``.
+
+        Expanding the norm gives ``x^T (C^T C) x - 2 d^T C x + d^T d``; the
+        linear part is folded onto the diagonal because ``x_i^2 = x_i``.
+        """
+        CtC = self.C.T @ self.C
+        linear = -2.0 * (self.d @ self.C)
+        Q = CtC.copy()
+        Q[np.diag_indices_from(Q)] += linear
+        return QUBOModel(Q, offset=float(self.d @ self.d), name="penalty")
+
+
+class PenaltyQUBOBuilder:
+    """Combine an objective QUBO with constraint penalties scaled by ``A``.
+
+    Parameters
+    ----------
+    objective:
+        QUBO encoding the original objective (the paper's ``H_B``).
+    constraints:
+        Linear equality constraints, or a pre-built penalty QUBO (``H_A``).
+    """
+
+    def __init__(
+        self,
+        objective: QUBOModel,
+        constraints: LinearConstraints | QUBOModel,
+    ) -> None:
+        self._objective = objective
+        if isinstance(constraints, LinearConstraints):
+            if constraints.num_variables != objective.num_variables:
+                raise ValueError(
+                    "constraints are defined over a different number of variables "
+                    f"({constraints.num_variables} vs {objective.num_variables})"
+                )
+            self._constraints: Optional[LinearConstraints] = constraints
+            self._penalty = constraints.penalty_qubo()
+        else:
+            if constraints.num_variables != objective.num_variables:
+                raise ValueError("penalty QUBO size does not match the objective")
+            self._constraints = None
+            self._penalty = constraints
+
+    @property
+    def objective(self) -> QUBOModel:
+        return self._objective
+
+    @property
+    def penalty(self) -> QUBOModel:
+        return self._penalty
+
+    def build(self, relaxation_parameter: float) -> QUBOModel:
+        """Return ``objective + A * penalty`` for the given relaxation parameter."""
+        A = check_positive(relaxation_parameter, "relaxation_parameter")
+        combined = self._objective + self._penalty.scaled(A)
+        combined.name = self._objective.name or "relaxed"
+        return combined
+
+    def objective_energy(self, x: np.ndarray) -> float:
+        """Original objective value of an assignment (independent of ``A``)."""
+        return self._objective.energy(x)
+
+    def penalty_energy(self, x: np.ndarray) -> float:
+        """Constraint-violation energy of an assignment (independent of ``A``)."""
+        return self._penalty.energy(x)
+
+    def is_feasible(self, x: np.ndarray, tol: float = 1e-6) -> bool:
+        """Whether an assignment satisfies the constraints (penalty energy ~ 0)."""
+        return self.penalty_energy(x) <= tol
+
+
+def slack_encode_inequality(
+    coefficients: Sequence[float],
+    bound: float,
+) -> tuple[np.ndarray, float, int]:
+    """Encode ``sum_i c_i x_i <= bound`` as an equality with binary slack bits.
+
+    Returns the extended coefficient row, the unchanged bound and the number of
+    slack bits appended.  The slack bits use a standard binary expansion large
+    enough to cover the maximum possible slack.
+    """
+    coeffs = np.asarray(coefficients, dtype=np.float64)
+    max_slack = float(bound - coeffs[coeffs < 0].sum())
+    if max_slack < 0:
+        raise ValueError("constraint is infeasible for every binary assignment")
+    num_slack = max(1, int(np.ceil(np.log2(max_slack + 1)))) if max_slack > 0 else 0
+    slack_weights = [2.0**k for k in range(num_slack)]
+    extended = np.concatenate([coeffs, np.asarray(slack_weights)])
+    return extended, float(bound), num_slack

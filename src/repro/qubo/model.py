@@ -1,0 +1,228 @@
+"""QUBO model representation and energy evaluation.
+
+A QUBO (quadratic unconstrained binary optimisation) problem is
+
+.. math:: \\min_{x \\in \\{0,1\\}^n} \\; x^T Q x + c
+
+where :math:`Q` is an upper-triangular (or symmetric) real matrix and ``c`` an
+optional constant offset.  The model stores ``Q`` densely because the problem
+sizes studied in the paper (TSP with up to ~90 cities, i.e. a few thousand
+binary variables) fit comfortably in memory, and dense matrices let the solvers
+vectorise batched energy / local-field computations with numpy.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Mapping, Tuple
+
+import numpy as np
+
+from repro.utils.validation import check_square_matrix
+
+
+@dataclass(frozen=True)
+class IsingModel:
+    """Ising form ``h . s + s^T J s + offset`` with spins in {-1, +1}.
+
+    ``J`` is symmetric with a zero diagonal; the quadratic term therefore counts
+    every pair twice (``J_ij s_i s_j + J_ji s_j s_i``), matching the QUBO
+    convention used by :class:`QUBOModel`.
+    """
+
+    h: np.ndarray
+    J: np.ndarray
+    offset: float
+
+    @property
+    def num_variables(self) -> int:
+        return int(self.h.shape[0])
+
+
+class QUBOModel:
+    """Dense QUBO model ``x^T Q x + offset`` over binary variables.
+
+    Parameters
+    ----------
+    Q:
+        Square coefficient matrix.  It is stored internally in *symmetrised*
+        form ``(Q + Q^T) / 2`` which leaves the quadratic form unchanged and
+        simplifies incremental energy updates in the solvers.
+    offset:
+        Constant added to every energy.
+    name:
+        Optional human-readable label used in reports.
+    """
+
+    def __init__(self, Q: np.ndarray, offset: float = 0.0, name: str = "") -> None:
+        Q = check_square_matrix(Q, "Q")
+        self._Q = (Q + Q.T) / 2.0
+        self._offset = float(offset)
+        self.name = name
+
+    # ------------------------------------------------------------------ basic
+    @property
+    def Q(self) -> np.ndarray:
+        """Symmetrised coefficient matrix (read-only view)."""
+        view = self._Q.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def offset(self) -> float:
+        return self._offset
+
+    @property
+    def num_variables(self) -> int:
+        return int(self._Q.shape[0])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"QUBOModel(n={self.num_variables}, offset={self._offset:.4g}, name={self.name!r})"
+
+    # ---------------------------------------------------------------- algebra
+    @classmethod
+    def from_dict(
+        cls,
+        coefficients: Mapping[Tuple[int, int], float],
+        num_variables: int | None = None,
+        offset: float = 0.0,
+        name: str = "",
+    ) -> "QUBOModel":
+        """Build a model from a ``{(i, j): value}`` mapping (dimod-style)."""
+        if num_variables is None:
+            if not coefficients:
+                raise ValueError("num_variables is required for an empty coefficient dict")
+            num_variables = 1 + max(max(i, j) for i, j in coefficients)
+        Q = np.zeros((num_variables, num_variables), dtype=np.float64)
+        for (i, j), value in coefficients.items():
+            if not (0 <= i < num_variables and 0 <= j < num_variables):
+                raise ValueError(f"index ({i}, {j}) out of range for n={num_variables}")
+            Q[i, j] += float(value)
+        return cls(Q, offset=offset, name=name)
+
+    def to_dict(self, tol: float = 0.0) -> Dict[Tuple[int, int], float]:
+        """Return upper-triangular ``{(i, j): value}`` coefficients above ``tol``."""
+        coeffs: Dict[Tuple[int, int], float] = {}
+        n = self.num_variables
+        for i in range(n):
+            diag = self._Q[i, i]
+            if abs(diag) > tol:
+                coeffs[(i, i)] = float(diag)
+            for j in range(i + 1, n):
+                value = 2.0 * self._Q[i, j]
+                if abs(value) > tol:
+                    coeffs[(i, j)] = float(value)
+        return coeffs
+
+    def scaled(self, factor: float) -> "QUBOModel":
+        """Return a new model with every coefficient (and offset) multiplied by ``factor``."""
+        return QUBOModel(self._Q * factor, offset=self._offset * factor, name=self.name)
+
+    def __add__(self, other: "QUBOModel") -> "QUBOModel":
+        if not isinstance(other, QUBOModel):
+            return NotImplemented
+        if other.num_variables != self.num_variables:
+            raise ValueError(
+                f"cannot add QUBOs of different sizes ({self.num_variables} vs {other.num_variables})"
+            )
+        return QUBOModel(self._Q + other._Q, offset=self._offset + other._offset, name=self.name)
+
+    def __mul__(self, factor: float) -> "QUBOModel":
+        return self.scaled(float(factor))
+
+    __rmul__ = __mul__
+
+    # --------------------------------------------------------------- energies
+    def energy(self, x: np.ndarray) -> float:
+        """Energy of a single binary assignment ``x`` (shape ``(n,)``)."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape != (self.num_variables,):
+            raise ValueError(f"expected shape ({self.num_variables},), got {x.shape}")
+        return float(x @ self._Q @ x + self._offset)
+
+    def energies(self, X: np.ndarray) -> np.ndarray:
+        """Energies of a batch of assignments ``X`` (shape ``(batch, n)``)."""
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2 or X.shape[1] != self.num_variables:
+            raise ValueError(f"expected shape (batch, {self.num_variables}), got {X.shape}")
+        return np.einsum("bi,ij,bj->b", X, self._Q, X) + self._offset
+
+    def local_fields(self, X: np.ndarray) -> np.ndarray:
+        """Single-flip energy changes for every variable of every assignment.
+
+        For symmetric ``Q`` the change of energy when flipping variable ``i`` of
+        assignment ``x`` is ``dE_i = (1 - 2 x_i) * (Q_ii + 2 * sum_{j != i} Q_ij x_j)``.
+        Returns an array of shape ``(batch, n)``.
+        """
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2 or X.shape[1] != self.num_variables:
+            raise ValueError(f"expected shape (batch, {self.num_variables}), got {X.shape}")
+        diag = np.diag(self._Q)
+        # 2 * Q x includes 2*Q_ii*x_i; subtract the extra diagonal contribution.
+        field = 2.0 * X @ self._Q - 2.0 * X * diag + diag
+        return (1.0 - 2.0 * X) * field
+
+    # --------------------------------------------------------------- convert
+    def to_ising(self) -> IsingModel:
+        """Convert to Ising form using ``x = (1 + s) / 2``."""
+        Q = self._Q
+        n = self.num_variables
+        J = Q / 4.0
+        np.fill_diagonal(J, 0.0)
+        h = Q.sum(axis=1) / 2.0
+        offset = self._offset + Q.sum() / 4.0 + np.trace(Q) / 4.0
+        return IsingModel(h=h, J=J, offset=float(offset))
+
+    @classmethod
+    def from_ising(cls, ising: IsingModel, name: str = "") -> "QUBOModel":
+        """Convert an Ising model back into QUBO form."""
+        h = np.asarray(ising.h, dtype=np.float64)
+        J = check_square_matrix(ising.J, "J")
+        J = (J + J.T) / 2.0
+        np_diag = np.diag(J).copy()
+        if np.any(np_diag != 0):
+            raise ValueError("Ising J must have a zero diagonal")
+        n = h.shape[0]
+        Q = 4.0 * J
+        diag = 2.0 * h - 4.0 * J.sum(axis=1)
+        Q = Q.copy()
+        np.fill_diagonal(Q, diag)
+        offset = ising.offset - h.sum() + J.sum()
+        return cls(Q, offset=float(offset), name=name)
+
+    # ------------------------------------------------------------------ misc
+    def max_abs_coefficient(self) -> float:
+        """Largest absolute coefficient, used for normalisation and noise models."""
+        return float(np.abs(self._Q).max(initial=0.0))
+
+    def fingerprint(self) -> str:
+        """Stable hash of the coefficients, usable as a cache key."""
+        digest = hashlib.sha256()
+        digest.update(np.ascontiguousarray(self._Q).tobytes())
+        digest.update(np.float64(self._offset).tobytes())
+        return digest.hexdigest()[:16]
+
+
+def random_qubo(
+    num_variables: int,
+    density: float = 1.0,
+    scale: float = 1.0,
+    rng: np.random.Generator | None = None,
+    name: str = "random",
+) -> QUBOModel:
+    """Generate a random QUBO with Gaussian coefficients (testing / benchmarking aid)."""
+    from repro.utils.rng import ensure_rng
+
+    if num_variables <= 0:
+        raise ValueError("num_variables must be positive")
+    if not (0.0 < density <= 1.0):
+        raise ValueError("density must lie in (0, 1]")
+    rng = ensure_rng(rng)
+    Q = rng.normal(0.0, scale, size=(num_variables, num_variables))
+    Q = (Q + Q.T) / 2.0
+    if density < 1.0:
+        mask = rng.random((num_variables, num_variables)) < density
+        mask = np.triu(mask) | np.triu(mask).T
+        Q = np.where(mask, Q, 0.0)
+    return QUBOModel(Q, name=name)

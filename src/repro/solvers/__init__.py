@@ -1,0 +1,34 @@
+"""QUBO solver backends: simulated annealing, Digital-Annealer-style, tabu, qbsolv-style, noisy QA."""
+
+from repro.solvers.base import QUBOSolver
+from repro.solvers.digital_annealer import DigitalAnnealerConfig, DigitalAnnealerSolver
+from repro.solvers.qbsolv import QbsolvConfig, QbsolvSolver
+from repro.solvers.quantum_annealer import QuantumAnnealerConfig, QuantumAnnealerSolver
+from repro.solvers.random_solver import RandomSolver
+from repro.solvers.schedules import (
+    GeometricSchedule,
+    LinearSchedule,
+    TemperatureSchedule,
+    default_temperature_range,
+)
+from repro.solvers.simulated_annealing import SimulatedAnnealingConfig, SimulatedAnnealingSolver
+from repro.solvers.tabu import TabuSearchConfig, TabuSearchSolver
+
+__all__ = [
+    "QUBOSolver",
+    "SimulatedAnnealingSolver",
+    "SimulatedAnnealingConfig",
+    "DigitalAnnealerSolver",
+    "DigitalAnnealerConfig",
+    "TabuSearchSolver",
+    "TabuSearchConfig",
+    "QbsolvSolver",
+    "QbsolvConfig",
+    "QuantumAnnealerSolver",
+    "QuantumAnnealerConfig",
+    "RandomSolver",
+    "TemperatureSchedule",
+    "GeometricSchedule",
+    "LinearSchedule",
+    "default_temperature_range",
+]

@@ -1,0 +1,70 @@
+"""Solver interface shared by every QUBO backend in the library.
+
+A *solver* takes a :class:`~repro.qubo.model.QUBOModel` and returns a
+:class:`~repro.qubo.sampleset.SampleSet` of ``num_reads`` stochastic reads.
+Every backend is a drop-in replacement for any other, which is what lets the
+experiment harness swap the simulated Digital Annealer for the Qbsolv-style
+hybrid (paper Section 5.3) without touching the QROSS code.
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from typing import Optional
+
+import numpy as np
+
+from repro.qubo.model import QUBOModel
+from repro.qubo.sampleset import SampleSet
+from repro.utils.rng import RngLike, ensure_rng
+
+
+class QUBOSolver(abc.ABC):
+    """Abstract base class for stochastic QUBO solvers."""
+
+    #: Human-readable backend name used in sample sets and reports.
+    name: str = "solver"
+
+    @abc.abstractmethod
+    def sample(
+        self,
+        model: QUBOModel,
+        num_reads: int = 1,
+        rng: RngLike = None,
+    ) -> SampleSet:
+        """Draw ``num_reads`` candidate assignments for ``model``."""
+
+    # ------------------------------------------------------------ conveniences
+    def sample_best(self, model: QUBOModel, num_reads: int = 1, rng: RngLike = None) -> np.ndarray:
+        """Return only the lowest-energy assignment of a batch."""
+        return self.sample(model, num_reads=num_reads, rng=rng).best.assignment
+
+    def _finalize(
+        self,
+        model: QUBOModel,
+        assignments: np.ndarray,
+        started_at: float,
+        rng_used: Optional[np.random.Generator] = None,
+        extra_info: Optional[dict] = None,
+    ) -> SampleSet:
+        """Package raw assignments into a :class:`SampleSet` with energies and metadata."""
+        assignments = np.asarray(assignments, dtype=np.int8)
+        energies = model.energies(assignments)
+        info = {"wall_time_s": time.perf_counter() - started_at, "solver": self.name}
+        if extra_info:
+            info.update(extra_info)
+        return SampleSet(assignments, energies, solver_name=self.name, info=info)
+
+    @staticmethod
+    def _random_states(num_reads: int, num_variables: int, rng: np.random.Generator) -> np.ndarray:
+        """Uniform random binary starting states of shape ``(num_reads, n)``."""
+        return rng.integers(0, 2, size=(num_reads, num_variables), dtype=np.int8)
+
+
+def validate_reads(num_reads: int) -> int:
+    """Validate the requested batch size."""
+    num_reads = int(num_reads)
+    if num_reads <= 0:
+        raise ValueError(f"num_reads must be positive, got {num_reads}")
+    return num_reads

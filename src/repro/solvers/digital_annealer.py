@@ -1,0 +1,136 @@
+"""Digital-Annealer-style parallel-trial annealer (simulated Fujitsu DA).
+
+The Fujitsu Digital Annealer is proprietary hardware; this module implements
+the published algorithm it runs (Aramon et al., *Physics-inspired optimization
+for QUBO problems using a digital annealer*, Frontiers in Physics 2019) so the
+paper's DA experiments can be reproduced on a CPU:
+
+* at every Monte-Carlo step **all** variables are evaluated in parallel and
+  each flip is accepted with Metropolis probability;
+* exactly one accepted flip (chosen uniformly at random) is applied per step;
+* a *dynamic offset* is added to the acceptance threshold whenever no flip is
+  accepted, which lets the solver escape local minima much faster than plain
+  simulated annealing — this is why the energy-vs-A "dipper" in Fig. 1 is much
+  sharper for DA than for SA.
+
+All replicas (reads) are propagated together with numpy.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.qubo.model import QUBOModel
+from repro.qubo.sampleset import SampleSet
+from repro.solvers.base import QUBOSolver, validate_reads
+from repro.solvers.schedules import TemperatureSchedule, resolve_schedule
+from repro.utils.rng import RngLike, ensure_rng
+
+
+@dataclass(frozen=True)
+class DigitalAnnealerConfig:
+    """Configuration of :class:`DigitalAnnealerSolver`.
+
+    Parameters
+    ----------
+    num_steps:
+        Number of Monte-Carlo steps.  ``None`` selects ``steps_per_variable * n``.
+    steps_per_variable:
+        Steps per variable used when ``num_steps`` is ``None``.
+    offset_increase_rate:
+        Amount (as a fraction of the typical coefficient scale) added to the
+        dynamic offset each time a step accepts no flip.
+    schedule:
+        Temperature schedule; ``None`` selects an automatic geometric schedule.
+    """
+
+    num_steps: Optional[int] = None
+    steps_per_variable: int = 25
+    offset_increase_rate: float = 0.3
+    schedule: Optional[TemperatureSchedule] = None
+
+    def __post_init__(self) -> None:
+        if self.num_steps is not None and self.num_steps <= 0:
+            raise ValueError("num_steps must be positive")
+        if self.steps_per_variable <= 0:
+            raise ValueError("steps_per_variable must be positive")
+        if self.offset_increase_rate < 0:
+            raise ValueError("offset_increase_rate must be non-negative")
+
+
+class DigitalAnnealerSolver(QUBOSolver):
+    """Parallel-trial single-flip annealer with dynamic offset escape."""
+
+    name = "digital-annealer"
+
+    def __init__(self, config: DigitalAnnealerConfig | None = None) -> None:
+        self.config = config or DigitalAnnealerConfig()
+
+    def _num_steps(self, num_variables: int) -> int:
+        if self.config.num_steps is not None:
+            return self.config.num_steps
+        return self.config.steps_per_variable * num_variables
+
+    def sample(self, model: QUBOModel, num_reads: int = 1, rng: RngLike = None) -> SampleSet:
+        started_at = time.perf_counter()
+        num_reads = validate_reads(num_reads)
+        rng = ensure_rng(rng)
+        n = model.num_variables
+        num_steps = self._num_steps(n)
+        schedule = resolve_schedule(model, self.config.schedule)
+        temperatures = schedule(num_steps)
+
+        Q = np.asarray(model.Q)
+        diag = np.diag(Q).copy()
+        offset_step = self.config.offset_increase_rate * max(model.max_abs_coefficient(), 1e-12)
+
+        X = self._random_states(num_reads, n, rng).astype(np.float64)
+        H = X @ Q
+        offsets = np.zeros(num_reads)
+        best_X = X.copy()
+        best_E = model.energies(X)
+        current_E = best_E.copy()
+        replica_rows = np.arange(num_reads)
+
+        for step in range(num_steps):
+            temperature = temperatures[step]
+            # Energy change of flipping each variable of each replica.
+            delta = (1.0 - 2.0 * X) * (diag[None, :] + 2.0 * H - 2.0 * diag[None, :] * X)
+            effective = delta - offsets[:, None]
+            accept = effective <= 0.0
+            if temperature > 0:
+                accept |= rng.random((num_reads, n)) < np.exp(
+                    -np.clip(effective, 0.0, None) / temperature
+                )
+
+            any_accepted = accept.any(axis=1)
+            # Replicas with no accepted candidate raise their dynamic offset.
+            offsets = np.where(any_accepted, 0.0, offsets + offset_step)
+            if not any_accepted.any():
+                continue
+
+            # Pick one accepted flip per replica uniformly at random.
+            scores = np.where(accept, rng.random((num_reads, n)), -1.0)
+            chosen = scores.argmax(axis=1)
+            rows = replica_rows[any_accepted]
+            cols = chosen[any_accepted]
+            dx = 1.0 - 2.0 * X[rows, cols]
+            current_E[rows] += delta[rows, cols]
+            X[rows, cols] += dx
+            H[rows] += dx[:, None] * Q[cols]
+
+            improved = current_E < best_E
+            if improved.any():
+                best_E[improved] = current_E[improved]
+                best_X[improved] = X[improved]
+
+        return self._finalize(
+            model,
+            best_X,
+            started_at,
+            extra_info={"num_steps": num_steps},
+        )

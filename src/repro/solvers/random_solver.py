@@ -1,0 +1,27 @@
+"""Uniform random sampling baseline solver.
+
+Useful as a sanity-check lower bound in tests and as a cheap source of training
+data when exercising the surrogate pipeline without paying for annealing.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.qubo.model import QUBOModel
+from repro.qubo.sampleset import SampleSet
+from repro.solvers.base import QUBOSolver, validate_reads
+from repro.utils.rng import RngLike, ensure_rng
+
+
+class RandomSolver(QUBOSolver):
+    """Returns uniformly random binary assignments."""
+
+    name = "random"
+
+    def sample(self, model: QUBOModel, num_reads: int = 1, rng: RngLike = None) -> SampleSet:
+        started_at = time.perf_counter()
+        num_reads = validate_reads(num_reads)
+        rng = ensure_rng(rng)
+        states = self._random_states(num_reads, model.num_variables, rng)
+        return self._finalize(model, states, started_at)

@@ -1,0 +1,102 @@
+"""Annealing temperature schedules.
+
+Both the simulated annealer and the Digital-Annealer-style solver cool a batch
+of replicas from ``t_initial`` down to ``t_final`` over a fixed number of
+sweeps.  A schedule maps the sweep index to a temperature; the two classic
+choices (geometric and linear) are provided, plus an automatic heuristic that
+derives a sensible range from the QUBO coefficients so users rarely need to
+hand-tune temperatures.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.qubo.model import QUBOModel
+from repro.utils.validation import check_positive
+
+
+class TemperatureSchedule(abc.ABC):
+    """Maps a sweep index in ``[0, num_sweeps)`` to a temperature."""
+
+    @abc.abstractmethod
+    def temperatures(self, num_sweeps: int) -> np.ndarray:
+        """Return the full temperature trajectory for ``num_sweeps`` sweeps."""
+
+    def __call__(self, num_sweeps: int) -> np.ndarray:
+        if num_sweeps <= 0:
+            raise ValueError("num_sweeps must be positive")
+        temps = self.temperatures(num_sweeps)
+        if temps.shape != (num_sweeps,):
+            raise ValueError("schedule returned the wrong number of temperatures")
+        return temps
+
+
+@dataclass(frozen=True)
+class GeometricSchedule(TemperatureSchedule):
+    """Temperature decays geometrically from ``t_initial`` to ``t_final``."""
+
+    t_initial: float
+    t_final: float
+
+    def __post_init__(self) -> None:
+        check_positive(self.t_initial, "t_initial")
+        check_positive(self.t_final, "t_final")
+        if self.t_final > self.t_initial:
+            raise ValueError("t_final must not exceed t_initial")
+
+    def temperatures(self, num_sweeps: int) -> np.ndarray:
+        if num_sweeps == 1:
+            return np.array([self.t_initial])
+        ratio = (self.t_final / self.t_initial) ** (1.0 / (num_sweeps - 1))
+        return self.t_initial * ratio ** np.arange(num_sweeps)
+
+
+@dataclass(frozen=True)
+class LinearSchedule(TemperatureSchedule):
+    """Temperature decreases linearly from ``t_initial`` to ``t_final``."""
+
+    t_initial: float
+    t_final: float
+
+    def __post_init__(self) -> None:
+        check_positive(self.t_initial, "t_initial")
+        check_positive(self.t_final, "t_final")
+        if self.t_final > self.t_initial:
+            raise ValueError("t_final must not exceed t_initial")
+
+    def temperatures(self, num_sweeps: int) -> np.ndarray:
+        return np.linspace(self.t_initial, self.t_final, num_sweeps)
+
+
+def default_temperature_range(model: QUBOModel) -> tuple[float, float]:
+    """Heuristic ``(t_initial, t_final)`` derived from the coefficient scale.
+
+    The initial temperature is set so that a typical uphill single-flip move is
+    accepted with high probability, and the final temperature so that only
+    moves near degeneracy are accepted — the same heuristic used by common
+    simulated-annealing samplers.
+    """
+    Q = np.asarray(model.Q)
+    abs_rows = np.abs(Q).sum(axis=1)
+    max_delta = float(abs_rows.max(initial=1.0))
+    min_nonzero = float(np.abs(Q[Q != 0]).min()) if np.any(Q != 0) else 1.0
+    t_initial = max(max_delta, 1e-6)
+    t_final = max(min_nonzero / 10.0, 1e-9)
+    if t_final > t_initial:
+        t_final = t_initial / 1000.0
+    return t_initial, t_final
+
+
+def resolve_schedule(
+    model: QUBOModel,
+    schedule: TemperatureSchedule | None,
+) -> TemperatureSchedule:
+    """Return ``schedule`` or a geometric schedule with the automatic range."""
+    if schedule is not None:
+        return schedule
+    t_initial, t_final = default_temperature_range(model)
+    return GeometricSchedule(t_initial=t_initial, t_final=t_final)

@@ -1,0 +1,121 @@
+"""Single-flip tabu search over QUBO models.
+
+Tabu search is the classical sub-solver used by D-Wave's qbsolv decomposer and
+is also useful as a deterministic-ish local-search baseline.  The implementation
+keeps the vector of single-flip energy changes up to date incrementally, picks
+the best non-tabu move (with aspiration: a tabu move is allowed when it improves
+the incumbent), and restarts from a perturbed incumbent when the search stalls.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.qubo.model import QUBOModel
+from repro.qubo.sampleset import SampleSet
+from repro.solvers.base import QUBOSolver, validate_reads
+from repro.utils.rng import RngLike, ensure_rng
+
+
+@dataclass(frozen=True)
+class TabuSearchConfig:
+    """Configuration of :class:`TabuSearchSolver`.
+
+    Parameters
+    ----------
+    num_steps:
+        Total number of single-flip moves per read.
+    tenure:
+        Number of steps a just-flipped variable stays tabu.  ``None`` selects
+        ``min(20, n // 4 + 1)``.
+    restart_after:
+        Steps without incumbent improvement before a perturbation restart.
+    """
+
+    num_steps: int = 500
+    tenure: int | None = None
+    restart_after: int = 100
+
+    def __post_init__(self) -> None:
+        if self.num_steps <= 0:
+            raise ValueError("num_steps must be positive")
+        if self.tenure is not None and self.tenure < 0:
+            raise ValueError("tenure must be non-negative")
+        if self.restart_after <= 0:
+            raise ValueError("restart_after must be positive")
+
+
+class TabuSearchSolver(QUBOSolver):
+    """Best-improvement single-flip tabu search."""
+
+    name = "tabu-search"
+
+    def __init__(self, config: TabuSearchConfig | None = None) -> None:
+        self.config = config or TabuSearchConfig()
+
+    def sample(self, model: QUBOModel, num_reads: int = 1, rng: RngLike = None) -> SampleSet:
+        started_at = time.perf_counter()
+        num_reads = validate_reads(num_reads)
+        rng = ensure_rng(rng)
+        assignments = [self._search(model, rng) for _ in range(num_reads)]
+        return self._finalize(model, np.array(assignments), started_at)
+
+    # ------------------------------------------------------------------ internals
+    def _search(self, model: QUBOModel, rng: np.random.Generator, x0: np.ndarray | None = None) -> np.ndarray:
+        n = model.num_variables
+        Q = np.asarray(model.Q)
+        diag = np.diag(Q).copy()
+        tenure = self.config.tenure if self.config.tenure is not None else min(20, n // 4 + 1)
+
+        x = (
+            x0.astype(np.float64).copy()
+            if x0 is not None
+            else rng.integers(0, 2, size=n).astype(np.float64)
+        )
+        h = Q @ x
+        energy = model.energy(x)
+        best_x = x.copy()
+        best_energy = energy
+        tabu_until = np.full(n, -1, dtype=np.int64)
+        stall = 0
+
+        for step in range(self.config.num_steps):
+            delta = (1.0 - 2.0 * x) * (diag + 2.0 * h - 2.0 * diag * x)
+            allowed = tabu_until < step
+            # Aspiration: a tabu move that beats the incumbent is always allowed.
+            allowed |= (energy + delta) < best_energy
+            if not allowed.any():
+                allowed = np.ones(n, dtype=bool)
+            candidate_delta = np.where(allowed, delta, np.inf)
+            i = int(candidate_delta.argmin())
+
+            dx = 1.0 - 2.0 * x[i]
+            x[i] += dx
+            energy += delta[i]
+            h += dx * Q[i]
+            tabu_until[i] = step + tenure
+
+            if energy < best_energy - 1e-12:
+                best_energy = energy
+                best_x = x.copy()
+                stall = 0
+            else:
+                stall += 1
+                if stall >= self.config.restart_after:
+                    x = best_x.copy()
+                    flips = rng.choice(n, size=max(1, n // 10), replace=False)
+                    x[flips] = 1.0 - x[flips]
+                    h = Q @ x
+                    energy = model.energy(x)
+                    tabu_until[:] = -1
+                    stall = 0
+
+        return best_x.astype(np.int8)
+
+    def refine(self, model: QUBOModel, x0: np.ndarray, rng: RngLike = None) -> np.ndarray:
+        """Run tabu search starting from an existing assignment (used by qbsolv)."""
+        rng = ensure_rng(rng)
+        return self._search(model, rng, x0=np.asarray(x0, dtype=np.float64))

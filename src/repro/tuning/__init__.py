@@ -1,0 +1,28 @@
+"""Relaxation-parameter tuners: the shared trial framework and the generic baselines."""
+
+from repro.tuning.base import (
+    ParameterBounds,
+    ParameterTuner,
+    TrialHistory,
+    TrialResult,
+)
+from repro.tuning.bayesian_optimisation import BayesianOptimisationConfig, BayesianOptimisationTuner
+from repro.tuning.gaussian_process import GaussianProcessRegressor, RBFKernel
+from repro.tuning.grid_search import GridSearchTuner
+from repro.tuning.random_search import RandomSearchTuner
+from repro.tuning.tpe import TPEConfig, TPETuner
+
+__all__ = [
+    "ParameterBounds",
+    "ParameterTuner",
+    "TrialResult",
+    "TrialHistory",
+    "RandomSearchTuner",
+    "GridSearchTuner",
+    "TPETuner",
+    "TPEConfig",
+    "BayesianOptimisationTuner",
+    "BayesianOptimisationConfig",
+    "GaussianProcessRegressor",
+    "RBFKernel",
+]

@@ -1,0 +1,157 @@
+"""Common framework for relaxation-parameter tuners.
+
+A *tuner* proposes relaxation-parameter values one trial at a time.  After each
+proposal the caller evaluates the parameter on a QUBO solver (one "call to the
+QUBO solver" in the paper's terminology) and reports the outcome back as a
+:class:`TrialResult`.  Both the QROSS strategies and the generic baselines
+(Random Search, TPE, Bayesian Optimisation) implement this interface, which is
+what the experiment harness uses to produce the gap-vs-trials curves of
+Figs. 3-5.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.utils.rng import RngLike, ensure_rng
+
+
+@dataclass(frozen=True)
+class ParameterBounds:
+    """Inclusive search range for the relaxation parameter."""
+
+    low: float
+    high: float
+
+    def __post_init__(self) -> None:
+        if not (self.low > 0 and self.high > self.low):
+            raise ValueError(f"bounds must satisfy 0 < low < high, got [{self.low}, {self.high}]")
+
+    def clip(self, value: float) -> float:
+        """Clamp ``value`` into the bounds."""
+        return float(min(max(value, self.low), self.high))
+
+    def uniform(self, rng: np.random.Generator, size: int | None = None) -> np.ndarray | float:
+        """Sample uniformly from the bounds."""
+        sample = rng.uniform(self.low, self.high, size=size)
+        return sample if size is not None else float(sample)
+
+    @property
+    def span(self) -> float:
+        return self.high - self.low
+
+
+@dataclass(frozen=True)
+class TrialResult:
+    """Outcome of evaluating one relaxation parameter on the QUBO solver.
+
+    Attributes
+    ----------
+    parameter:
+        The relaxation parameter value that was evaluated.
+    probability_of_feasibility:
+        Fraction of solver reads that were feasible (paper Eq. 1).
+    best_fitness:
+        Best original-objective value among the feasible reads, or ``None``
+        when no read was feasible.
+    energy_mean, energy_std:
+        Mean / standard deviation of the QUBO energies of the read batch.
+    """
+
+    parameter: float
+    probability_of_feasibility: float
+    best_fitness: Optional[float]
+    energy_mean: float = 0.0
+    energy_std: float = 0.0
+
+    @property
+    def is_feasible(self) -> bool:
+        return self.best_fitness is not None
+
+
+@dataclass
+class TrialHistory:
+    """Ordered record of the trials spent on one instance."""
+
+    trials: List[TrialResult] = field(default_factory=list)
+
+    def append(self, trial: TrialResult) -> None:
+        self.trials.append(trial)
+
+    def __len__(self) -> int:
+        return len(self.trials)
+
+    def __iter__(self):
+        return iter(self.trials)
+
+    @property
+    def parameters(self) -> np.ndarray:
+        return np.array([t.parameter for t in self.trials])
+
+    @property
+    def feasible_trials(self) -> List[TrialResult]:
+        return [t for t in self.trials if t.is_feasible]
+
+    def best_fitness(self) -> Optional[float]:
+        """Best (lowest) feasible fitness observed so far, if any."""
+        feasible = [t.best_fitness for t in self.trials if t.best_fitness is not None]
+        return min(feasible) if feasible else None
+
+    def best_fitness_curve(self) -> List[Optional[float]]:
+        """Running best feasible fitness after each trial (``None`` until feasible)."""
+        curve: List[Optional[float]] = []
+        best: Optional[float] = None
+        for trial in self.trials:
+            if trial.best_fitness is not None and (best is None or trial.best_fitness < best):
+                best = trial.best_fitness
+            curve.append(best)
+        return curve
+
+    def scores(self, infeasible_penalty_factor: float = 1.5) -> np.ndarray:
+        """Scalar minimisation scores per trial, penalising infeasible ones.
+
+        Feasible trials score their best fitness.  Infeasible trials score
+        worse than every feasible trial: the worst feasible fitness (or the
+        mean batch energy when nothing is feasible yet) inflated by
+        ``infeasible_penalty_factor`` plus their feasibility deficit, so that
+        "almost feasible" trials still rank better than hopeless ones.
+        """
+        feasible_values = [t.best_fitness for t in self.trials if t.best_fitness is not None]
+        if feasible_values:
+            baseline = max(feasible_values)
+        else:
+            baseline = max((abs(t.energy_mean) for t in self.trials), default=1.0)
+        baseline = max(baseline, 1e-9)
+        scores = []
+        for trial in self.trials:
+            if trial.best_fitness is not None:
+                scores.append(trial.best_fitness)
+            else:
+                deficit = 1.0 - trial.probability_of_feasibility
+                scores.append(baseline * (infeasible_penalty_factor + deficit))
+        return np.array(scores)
+
+
+class ParameterTuner(abc.ABC):
+    """Sequential proposer of relaxation-parameter values."""
+
+    #: Name used in experiment reports ("QROSS", "TPE", "BO", "Random").
+    name: str = "tuner"
+
+    def __init__(self, bounds: ParameterBounds, rng: RngLike = None) -> None:
+        self.bounds = bounds
+        self.rng = ensure_rng(rng)
+
+    @abc.abstractmethod
+    def suggest(self, history: TrialHistory) -> float:
+        """Propose the next relaxation parameter given the trials so far."""
+
+    def observe(self, trial: TrialResult, history: TrialHistory) -> None:
+        """Hook called after a trial is evaluated (default: no internal state)."""
+
+    def reset(self) -> None:
+        """Clear per-instance state before tuning a new instance."""

@@ -1,0 +1,140 @@
+"""Gaussian-process regression with an RBF kernel, implemented from scratch.
+
+This is the model behind the Bayesian-Optimisation baseline.  Only the pieces
+needed for one-dimensional hyper-parameter tuning are implemented: an RBF
+(squared-exponential) kernel with output-scale and noise hyper-parameters,
+exact posterior inference via a Cholesky factorisation, and a light maximum-
+likelihood grid search over the length scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.linalg import cho_factor, cho_solve
+
+
+@dataclass(frozen=True)
+class RBFKernel:
+    """Squared-exponential kernel ``variance * exp(-0.5 * (d / length_scale)^2)``."""
+
+    length_scale: float = 1.0
+    variance: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.length_scale <= 0 or self.variance <= 0:
+            raise ValueError("kernel hyper-parameters must be positive")
+
+    def __call__(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        a = np.atleast_1d(np.asarray(a, dtype=np.float64))
+        b = np.atleast_1d(np.asarray(b, dtype=np.float64))
+        distances = (a[:, None] - b[None, :]) / self.length_scale
+        return self.variance * np.exp(-0.5 * distances**2)
+
+
+class GaussianProcessRegressor:
+    """Exact GP regression on scalar inputs.
+
+    Parameters
+    ----------
+    kernel:
+        Prior covariance function.
+    noise:
+        Observation noise variance added to the kernel diagonal.
+    normalize_targets:
+        Standardise targets before fitting (recommended: QUBO fitness values
+        have arbitrary scale).
+    """
+
+    def __init__(
+        self,
+        kernel: RBFKernel | None = None,
+        noise: float = 1e-4,
+        normalize_targets: bool = True,
+    ) -> None:
+        if noise <= 0:
+            raise ValueError("noise must be positive")
+        self.kernel = kernel or RBFKernel()
+        self.noise = noise
+        self.normalize_targets = normalize_targets
+        self._train_inputs: np.ndarray | None = None
+        self._alpha: np.ndarray | None = None
+        self._cho: tuple | None = None
+        self._target_mean = 0.0
+        self._target_std = 1.0
+
+    # -------------------------------------------------------------------- fit
+    def fit(self, inputs: np.ndarray, targets: np.ndarray) -> "GaussianProcessRegressor":
+        inputs = np.atleast_1d(np.asarray(inputs, dtype=np.float64))
+        targets = np.atleast_1d(np.asarray(targets, dtype=np.float64))
+        if inputs.shape != targets.shape:
+            raise ValueError("inputs and targets must have the same shape")
+        if inputs.size == 0:
+            raise ValueError("cannot fit a GP on an empty dataset")
+        if self.normalize_targets:
+            self._target_mean = float(targets.mean())
+            self._target_std = float(targets.std()) or 1.0
+        else:
+            self._target_mean, self._target_std = 0.0, 1.0
+        scaled = (targets - self._target_mean) / self._target_std
+
+        K = self.kernel(inputs, inputs) + self.noise * np.eye(inputs.size)
+        self._cho = cho_factor(K, lower=True)
+        self._alpha = cho_solve(self._cho, scaled)
+        self._train_inputs = inputs
+        return self
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._train_inputs is not None
+
+    # ---------------------------------------------------------------- predict
+    def predict(self, inputs: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Posterior mean and standard deviation at ``inputs``."""
+        if not self.is_fitted:
+            raise RuntimeError("predict called before fit")
+        inputs = np.atleast_1d(np.asarray(inputs, dtype=np.float64))
+        cross = self.kernel(inputs, self._train_inputs)
+        mean = cross @ self._alpha
+        solved = cho_solve(self._cho, cross.T)
+        prior_var = np.diag(self.kernel(inputs, inputs))
+        var = np.maximum(prior_var - np.einsum("ij,ji->i", cross, solved), 1e-12)
+        std = np.sqrt(var)
+        return mean * self._target_std + self._target_mean, std * self._target_std
+
+    # --------------------------------------------------------- model selection
+    def log_marginal_likelihood(self, inputs: np.ndarray, targets: np.ndarray) -> float:
+        """Log marginal likelihood of the data under the current kernel."""
+        inputs = np.atleast_1d(np.asarray(inputs, dtype=np.float64))
+        targets = np.atleast_1d(np.asarray(targets, dtype=np.float64))
+        mean = targets.mean() if self.normalize_targets else 0.0
+        std = (targets.std() or 1.0) if self.normalize_targets else 1.0
+        scaled = (targets - mean) / std
+        K = self.kernel(inputs, inputs) + self.noise * np.eye(inputs.size)
+        cho = cho_factor(K, lower=True)
+        alpha = cho_solve(cho, scaled)
+        log_det = 2.0 * np.log(np.diag(cho[0])).sum()
+        return float(-0.5 * scaled @ alpha - 0.5 * log_det - 0.5 * inputs.size * np.log(2 * np.pi))
+
+    def optimise_length_scale(
+        self,
+        inputs: np.ndarray,
+        targets: np.ndarray,
+        candidates: np.ndarray,
+    ) -> "GaussianProcessRegressor":
+        """Pick the candidate length scale with the best marginal likelihood and refit."""
+        best_score = -np.inf
+        best_scale = self.kernel.length_scale
+        for scale in np.atleast_1d(candidates):
+            trial = GaussianProcessRegressor(
+                kernel=RBFKernel(length_scale=float(scale), variance=self.kernel.variance),
+                noise=self.noise,
+                normalize_targets=self.normalize_targets,
+            )
+            score = trial.log_marginal_likelihood(inputs, targets)
+            if score > best_score:
+                best_score = score
+                best_scale = float(scale)
+        self.kernel = RBFKernel(length_scale=best_scale, variance=self.kernel.variance)
+        return self.fit(inputs, targets)

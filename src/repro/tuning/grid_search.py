@@ -1,0 +1,27 @@
+"""Grid-search baseline: pre-computed uniformly spaced parameter values."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tuning.base import ParameterBounds, ParameterTuner, TrialHistory
+from repro.utils.rng import RngLike
+
+
+class GridSearchTuner(ParameterTuner):
+    """Proposes evenly spaced parameters; cycles with jitter once exhausted."""
+
+    name = "Grid"
+
+    def __init__(self, bounds: ParameterBounds, num_points: int = 20, rng: RngLike = None) -> None:
+        super().__init__(bounds, rng)
+        if num_points < 2:
+            raise ValueError("num_points must be at least 2")
+        self._grid = np.linspace(bounds.low, bounds.high, num_points)
+
+    def suggest(self, history: TrialHistory) -> float:
+        index = len(history)
+        if index < self._grid.size:
+            return float(self._grid[index])
+        jitter = self.rng.normal(0.0, self.bounds.span / (10 * self._grid.size))
+        return self.bounds.clip(float(self._grid[index % self._grid.size] + jitter))

@@ -1,0 +1,18 @@
+"""Random-search baseline: uniform samples from the parameter bounds."""
+
+from __future__ import annotations
+
+from repro.tuning.base import ParameterBounds, ParameterTuner, TrialHistory
+from repro.utils.rng import RngLike
+
+
+class RandomSearchTuner(ParameterTuner):
+    """Samples every trial uniformly at random (the paper's "Random" baseline)."""
+
+    name = "Random"
+
+    def __init__(self, bounds: ParameterBounds, rng: RngLike = None) -> None:
+        super().__init__(bounds, rng)
+
+    def suggest(self, history: TrialHistory) -> float:
+        return float(self.bounds.uniform(self.rng))

@@ -1,0 +1,20 @@
+"""Shared utilities: random-number handling, validation helpers and timing."""
+
+from repro.utils.rng import ensure_rng, spawn_rngs
+from repro.utils.timing import Timer
+from repro.utils.validation import (
+    check_probability,
+    check_positive,
+    check_square_matrix,
+    check_symmetric,
+)
+
+__all__ = [
+    "ensure_rng",
+    "spawn_rngs",
+    "Timer",
+    "check_probability",
+    "check_positive",
+    "check_square_matrix",
+    "check_symmetric",
+]

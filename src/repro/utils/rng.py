@@ -1,0 +1,42 @@
+"""Random-number generator helpers.
+
+Every stochastic component in the library accepts either a seed (``int``), an
+existing :class:`numpy.random.Generator`, or ``None`` (fresh entropy).  Using a
+single helper keeps the convention uniform and makes experiments reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+RngLike = Union[None, int, np.random.Generator]
+
+
+def ensure_rng(seed: RngLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    Parameters
+    ----------
+    seed:
+        ``None`` for fresh OS entropy, an ``int`` seed, or an existing
+        generator (returned unchanged).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed: RngLike, count: int) -> list[np.random.Generator]:
+    """Create ``count`` independent child generators derived from ``seed``.
+
+    Child streams are statistically independent, which lets parallel workloads
+    (for example one stream per problem instance) be reproducible regardless of
+    evaluation order.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    root = ensure_rng(seed)
+    seeds = root.integers(0, 2**63 - 1, size=count, dtype=np.int64)
+    return [np.random.default_rng(int(s)) for s in seeds]

@@ -1,0 +1,100 @@
+"""Shared fixtures for the test suite.
+
+Expensive artefacts (the trained surrogate and the surrogate dataset behind it)
+are session-scoped so the many tests that need them pay the cost only once.
+All fixtures use tiny instances — the goal of the unit suite is correctness of
+behaviour and invariants, not paper-scale numbers (those live in benchmarks/).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.dataset import SamplingPlan, collect_training_data
+from repro.core.features import TSPStatisticsExtractor
+from repro.core.surrogate import SolverSurrogate, SurrogateConfig
+from repro.problems.mvc.generator import RandomMVCConfig, generate_mvc_instance
+from repro.problems.mvc.qubo import MVCProblem
+from repro.problems.tsp.generator import SyntheticTSPConfig, generate_dataset, generate_instance
+from repro.problems.tsp.qubo import TSPProblem
+from repro.solvers.digital_annealer import DigitalAnnealerConfig, DigitalAnnealerSolver
+from repro.solvers.simulated_annealing import SimulatedAnnealingConfig, SimulatedAnnealingSolver
+from repro.tuning.base import ParameterBounds
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Fresh deterministic generator per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def tsp_instance():
+    """A 6-city Euclidean instance (small enough for brute force)."""
+    return generate_instance(6, distribution="uniform", rng=7, name="fixture-tsp6")
+
+
+@pytest.fixture
+def tsp_problem(tsp_instance) -> TSPProblem:
+    return TSPProblem(tsp_instance)
+
+
+@pytest.fixture
+def mvc_instance():
+    """A 10-vertex weighted MVC instance."""
+    return generate_mvc_instance(RandomMVCConfig(num_vertices=10, edge_probability=0.4), rng=11)
+
+
+@pytest.fixture
+def mvc_problem(mvc_instance) -> MVCProblem:
+    return MVCProblem(mvc_instance)
+
+
+@pytest.fixture
+def fast_da_solver() -> DigitalAnnealerSolver:
+    """Digital-Annealer-style solver sized for tiny test QUBOs."""
+    return DigitalAnnealerSolver(DigitalAnnealerConfig(steps_per_variable=10))
+
+
+@pytest.fixture
+def fast_sa_solver() -> SimulatedAnnealingSolver:
+    return SimulatedAnnealingSolver(SimulatedAnnealingConfig(num_sweeps=30))
+
+
+@pytest.fixture(scope="session")
+def training_problems():
+    """Eight tiny synthetic instances used to train the session surrogate."""
+    config = SyntheticTSPConfig(min_cities=5, max_cities=7)
+    instances = generate_dataset(8, config=config, rng=3, name_prefix="train")
+    return [TSPProblem(instance) for instance in instances]
+
+
+@pytest.fixture(scope="session")
+def surrogate_dataset(training_problems):
+    """Surrogate training data collected once per test session."""
+    solver = DigitalAnnealerSolver(DigitalAnnealerConfig(steps_per_variable=10))
+    plan = SamplingPlan(
+        coarse_multipliers=(0.15, 0.4, 0.7, 0.9, 1.1, 1.5, 2.2),
+        num_refinement_points=3,
+        num_reads=12,
+    )
+    return collect_training_data(training_problems, solver, TSPStatisticsExtractor(), plan=plan, rng=5)
+
+
+@pytest.fixture(scope="session")
+def trained_surrogate(surrogate_dataset) -> SolverSurrogate:
+    """A surrogate trained on the session dataset (coarse but usable)."""
+    surrogate = SolverSurrogate(
+        TSPStatisticsExtractor(),
+        config=SurrogateConfig(hidden_sizes=(32, 32), num_epochs=120, patience=30),
+        rng=0,
+    )
+    surrogate.fit(surrogate_dataset, rng=0)
+    return surrogate
+
+
+@pytest.fixture
+def bounds_for(tsp_problem) -> ParameterBounds:
+    scale = tsp_problem.relaxation_scale()
+    return ParameterBounds(low=0.05 * scale, high=4.0 * scale)

@@ -1,0 +1,102 @@
+"""Unit tests for instance feature extraction (repro.core.features)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.features import (
+    CompositeExtractor,
+    GraphEncoderExtractor,
+    QuboStatisticsExtractor,
+    TSPStatisticsExtractor,
+    default_extractor_for,
+)
+from repro.problems.mvc.generator import RandomMVCConfig, generate_mvc_instance
+from repro.problems.mvc.qubo import MVCProblem
+from repro.problems.tsp.generator import generate_instance
+from repro.problems.tsp.qubo import TSPProblem
+
+
+@pytest.fixture
+def tsp_problems():
+    return [TSPProblem(generate_instance(n, rng=n)) for n in (6, 9, 12)]
+
+
+class TestTSPStatisticsExtractor:
+    def test_fixed_size_across_instance_sizes(self, tsp_problems):
+        extractor = TSPStatisticsExtractor()
+        features = [extractor.extract(problem) for problem in tsp_problems]
+        assert all(f.shape == (extractor.dim,) for f in features)
+
+    def test_feature_names_match_dim(self):
+        extractor = TSPStatisticsExtractor()
+        assert len(extractor.feature_names) == extractor.dim
+
+    def test_features_are_finite(self, tsp_problems):
+        extractor = TSPStatisticsExtractor()
+        for problem in tsp_problems:
+            assert np.all(np.isfinite(extractor.extract(problem)))
+
+    def test_scale_invariance_except_size(self):
+        extractor = TSPStatisticsExtractor()
+        instance = generate_instance(8, rng=0)
+        base = extractor.extract(TSPProblem(instance))
+        scaled = extractor.extract(TSPProblem(instance.scaled(13.0)))
+        np.testing.assert_allclose(base, scaled, atol=1e-9)
+
+    def test_num_cities_feature(self):
+        extractor = TSPStatisticsExtractor()
+        features = extractor.extract(TSPProblem(generate_instance(10, rng=1)))
+        assert features[0] == 10.0
+
+    def test_different_instances_have_different_features(self):
+        extractor = TSPStatisticsExtractor()
+        a = extractor.extract(TSPProblem(generate_instance(10, distribution="uniform", rng=0)))
+        b = extractor.extract(TSPProblem(generate_instance(10, distribution="clustered", rng=1)))
+        assert not np.allclose(a, b)
+
+    def test_rejects_non_tsp_problem(self, tsp_problems):
+        mvc = MVCProblem(generate_mvc_instance(RandomMVCConfig(num_vertices=8), rng=0))
+        with pytest.raises(TypeError):
+            TSPStatisticsExtractor().extract(mvc)
+
+    def test_extract_batch_stacks(self, tsp_problems):
+        extractor = TSPStatisticsExtractor()
+        matrix = extractor.extract_batch(tsp_problems)
+        assert matrix.shape == (3, extractor.dim)
+
+
+class TestOtherExtractors:
+    def test_graph_encoder_extractor(self, tsp_problems):
+        extractor = GraphEncoderExtractor(hidden_dim=8, rng=0)
+        features = extractor.extract(tsp_problems[0])
+        assert features.shape == (extractor.dim,)
+
+    def test_qubo_statistics_extractor_works_for_mvc(self):
+        mvc = MVCProblem(generate_mvc_instance(RandomMVCConfig(num_vertices=8), rng=0))
+        extractor = QuboStatisticsExtractor()
+        features = extractor.extract(mvc)
+        assert features.shape == (extractor.dim,)
+        assert np.all(np.isfinite(features))
+
+    def test_qubo_statistics_extractor_works_for_tsp(self, tsp_problems):
+        extractor = QuboStatisticsExtractor()
+        assert extractor.extract(tsp_problems[0]).shape == (extractor.dim,)
+
+    def test_composite_concatenates(self, tsp_problems):
+        stats = TSPStatisticsExtractor()
+        gcn = GraphEncoderExtractor(hidden_dim=4, rng=0)
+        composite = CompositeExtractor(stats, gcn)
+        assert composite.dim == stats.dim + gcn.dim
+        features = composite.extract(tsp_problems[0])
+        assert features.shape == (composite.dim,)
+
+    def test_composite_requires_extractors(self):
+        with pytest.raises(ValueError):
+            CompositeExtractor()
+
+    def test_default_extractor_dispatch(self, tsp_problems):
+        assert isinstance(default_extractor_for(tsp_problems[0]), TSPStatisticsExtractor)
+        mvc = MVCProblem(generate_mvc_instance(RandomMVCConfig(num_vertices=6), rng=0))
+        assert isinstance(default_extractor_for(mvc), QuboStatisticsExtractor)

@@ -1,0 +1,86 @@
+"""Unit tests for the expectation of minimum fitness (paper Eq. 2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.fitness import (
+    expected_minimum_fitness,
+    expected_minimum_of_gaussian_sample,
+)
+
+
+class TestExpectedMinimumFitness:
+    def test_zero_pf_is_infinite(self):
+        result = expected_minimum_fitness(0.0, 100.0, 10.0, batch_size=128)
+        assert np.isinf(result[0])
+
+    def test_tiny_pf_is_infinite(self):
+        result = expected_minimum_fitness(1e-6, 100.0, 10.0, batch_size=128)
+        assert np.isinf(result[0])
+
+    def test_single_feasible_sample_close_to_mean(self):
+        # Pf * B = 1: the expected minimum of one draw is the mean.
+        result = expected_minimum_fitness(1.0 / 64.0, 100.0, 5.0, batch_size=64)
+        assert result[0] == pytest.approx(100.0, rel=0.05)
+
+    def test_more_samples_lower_expected_minimum(self):
+        few = expected_minimum_fitness(0.1, 100.0, 10.0, batch_size=32)[0]
+        many = expected_minimum_fitness(0.9, 100.0, 10.0, batch_size=32)[0]
+        assert many < few
+
+    def test_matches_order_statistics_helper(self):
+        mean, std, m = 50.0, 4.0, 16
+        integral = expected_minimum_fitness(m / 128.0, mean, std, batch_size=128)[0]
+        reference = expected_minimum_of_gaussian_sample(mean, std, m)
+        assert integral == pytest.approx(reference, rel=0.02)
+
+    def test_matches_monte_carlo(self):
+        rng = np.random.default_rng(0)
+        mean, std, batch, pf = 200.0, 15.0, 64, 0.5
+        m = int(pf * batch)
+        simulated = np.mean([rng.normal(mean, std, size=m).min() for _ in range(4000)])
+        analytic = expected_minimum_fitness(pf, mean, std, batch_size=batch)[0]
+        assert analytic == pytest.approx(simulated, rel=0.02)
+
+    def test_vectorised_over_inputs(self):
+        pf = np.array([0.0, 0.2, 0.8])
+        result = expected_minimum_fitness(pf, 100.0, 10.0, batch_size=64)
+        assert result.shape == (3,)
+        assert np.isinf(result[0])
+        assert result[2] < result[1]
+
+    def test_zero_std_returns_mean(self):
+        result = expected_minimum_fitness(0.5, 42.0, 0.0, batch_size=32)
+        assert result[0] == pytest.approx(42.0, rel=0.01)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            expected_minimum_fitness(0.5, 1.0, 1.0, batch_size=0)
+        with pytest.raises(ValueError):
+            expected_minimum_fitness(0.5, 1.0, 1.0, num_quadrature_points=2)
+
+
+class TestGaussianOrderStatistics:
+    def test_single_sample_is_mean(self):
+        assert expected_minimum_of_gaussian_sample(10.0, 3.0, 1) == pytest.approx(10.0)
+
+    def test_minimum_decreases_with_sample_size(self):
+        values = [expected_minimum_of_gaussian_sample(0.0, 1.0, n) for n in (1, 2, 8, 32)]
+        assert values == sorted(values, reverse=True)
+
+    def test_two_sample_known_value(self):
+        # E[min of two standard normals] = -1/sqrt(pi).
+        assert expected_minimum_of_gaussian_sample(0.0, 1.0, 2) == pytest.approx(
+            -1.0 / np.sqrt(np.pi), abs=1e-3
+        )
+
+    def test_zero_std(self):
+        assert expected_minimum_of_gaussian_sample(5.0, 0.0, 100) == 5.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            expected_minimum_of_gaussian_sample(0.0, 1.0, 0)
+        with pytest.raises(ValueError):
+            expected_minimum_of_gaussian_sample(0.0, -1.0, 2)

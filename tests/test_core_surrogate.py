@@ -1,0 +1,122 @@
+"""Unit and behavioural tests for the solver surrogate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.dataset import SurrogateDataset
+from repro.core.features import TSPStatisticsExtractor
+from repro.core.surrogate import SolverSurrogate, SurrogateConfig
+
+
+class TestSurrogateConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SurrogateConfig(hidden_sizes=())
+        with pytest.raises(ValueError):
+            SurrogateConfig(hidden_sizes=(0,))
+        with pytest.raises(ValueError):
+            SurrogateConfig(learning_rate=0.0)
+        with pytest.raises(ValueError):
+            SurrogateConfig(validation_fraction=1.5)
+
+
+class TestSurrogateLifecycle:
+    def test_untrained_surrogate_refuses_prediction(self, tsp_problem):
+        surrogate = SolverSurrogate(TSPStatisticsExtractor(), rng=0)
+        with pytest.raises(RuntimeError):
+            surrogate.predict(tsp_problem, [1.0])
+
+    def test_untrained_surrogate_refuses_save(self, tmp_path):
+        surrogate = SolverSurrogate(TSPStatisticsExtractor(), rng=0)
+        with pytest.raises(RuntimeError):
+            surrogate.save(tmp_path / "weights.npz")
+
+    def test_fit_requires_enough_data(self):
+        surrogate = SolverSurrogate(TSPStatisticsExtractor(), rng=0)
+        with pytest.raises(ValueError):
+            surrogate.fit(SurrogateDataset([]))
+
+    def test_fit_returns_histories(self, surrogate_dataset):
+        surrogate = SolverSurrogate(
+            TSPStatisticsExtractor(),
+            config=SurrogateConfig(hidden_sizes=(16,), num_epochs=30, patience=None),
+            rng=0,
+        )
+        histories = surrogate.fit(surrogate_dataset, rng=0)
+        assert set(histories) == {"pf", "energy"}
+        assert histories["pf"].num_epochs > 0
+        assert surrogate.is_trained
+
+
+class TestSurrogatePredictions:
+    def test_prediction_shapes_and_ranges(self, trained_surrogate, training_problems):
+        problem = training_problems[0]
+        parameters = np.linspace(0.1, 3.0, 16) * problem.relaxation_scale()
+        prediction = trained_surrogate.predict(problem, parameters)
+        assert prediction.probability_of_feasibility.shape == (16,)
+        assert np.all((prediction.probability_of_feasibility >= 0) & (prediction.probability_of_feasibility <= 1))
+        assert np.all(prediction.energy_std >= 0)
+        assert np.all(np.isfinite(prediction.energy_mean))
+
+    def test_rejects_non_positive_parameters(self, trained_surrogate, training_problems):
+        with pytest.raises(ValueError):
+            trained_surrogate.predict(training_problems[0], [0.0])
+
+    def test_pf_increases_with_parameter(self, trained_surrogate, training_problems):
+        """The learned Pf(A) must reproduce the sigmoid trend: higher A, higher Pf."""
+        problem = training_problems[0]
+        scale = problem.relaxation_scale()
+        pf = trained_surrogate.predict_pf(problem, np.array([0.15, 3.0]) * scale)
+        assert pf[1] > pf[0]
+
+    def test_pf_plateaus_learned(self, trained_surrogate, training_problems):
+        """Far left of the transition Pf should be low, far right high."""
+        lows, highs = [], []
+        for problem in training_problems[:4]:
+            scale = problem.relaxation_scale()
+            pf = trained_surrogate.predict_pf(problem, np.array([0.1, 2.5]) * scale)
+            lows.append(pf[0])
+            highs.append(pf[1])
+        assert np.mean(lows) < 0.5
+        assert np.mean(highs) > 0.5
+
+    def test_energy_head_tracks_measured_energies(
+        self, trained_surrogate, training_problems, surrogate_dataset
+    ):
+        """Within an instance, predicted Eavg should track the measured Eavg across A."""
+        problems = {problem.name: problem for problem in training_problems}
+        correlations = []
+        for name, problem in problems.items():
+            records = [r for r in surrogate_dataset.records if r.instance_name == name]
+            if len(records) < 4:
+                continue
+            parameters = np.array([r.parameter for r in records])
+            measured = np.array([r.energy_mean for r in records])
+            predicted = trained_surrogate.predict(problem, parameters).energy_mean
+            if measured.std() < 1e-9:
+                continue
+            correlations.append(np.corrcoef(predicted, measured)[0, 1])
+        assert correlations, "expected at least one instance with enough records"
+        assert np.median(correlations) > 0.5
+
+
+class TestSurrogatePersistence:
+    def test_save_load_roundtrip(self, trained_surrogate, training_problems, tmp_path):
+        path = tmp_path / "surrogate.npz"
+        trained_surrogate.save(path)
+        clone = SolverSurrogate(
+            TSPStatisticsExtractor(),
+            config=SurrogateConfig(hidden_sizes=(32, 32), num_epochs=120, patience=30),
+            rng=0,
+        )
+        clone.load(path)
+        problem = training_problems[0]
+        parameters = np.array([0.5, 1.0, 1.5]) * problem.relaxation_scale()
+        original = trained_surrogate.predict(problem, parameters)
+        restored = clone.predict(problem, parameters)
+        np.testing.assert_allclose(
+            restored.probability_of_feasibility, original.probability_of_feasibility, atol=1e-9
+        )
+        np.testing.assert_allclose(restored.energy_mean, original.energy_mean, atol=1e-6)

@@ -1,0 +1,168 @@
+"""Unit tests for the Minimum Vertex Cover substrate (instance, QUBO, heuristics)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.problems.mvc.generator import RandomMVCConfig, generate_mvc_dataset, generate_mvc_instance
+from repro.problems.mvc.heuristics import (
+    best_known_cover_weight,
+    exact_minimum_cover,
+    greedy_weighted_cover,
+    prune_cover,
+)
+from repro.problems.mvc.instance import MVCInstance
+from repro.problems.mvc.qubo import MVCProblem
+
+
+def triangle_instance(weights=None) -> MVCInstance:
+    adjacency = np.array([[0, 1, 1], [1, 0, 1], [1, 1, 0]], dtype=bool)
+    return MVCInstance(adjacency=adjacency, weights=weights, name="triangle")
+
+
+class TestMVCInstance:
+    def test_edge_count(self):
+        assert triangle_instance().num_edges == 3
+
+    def test_cover_detection(self):
+        instance = triangle_instance()
+        assert instance.is_vertex_cover(np.array([1, 1, 0]))
+        assert not instance.is_vertex_cover(np.array([1, 0, 0]))
+        assert instance.is_vertex_cover(np.array([1, 1, 1]))
+
+    def test_cover_weight(self):
+        instance = triangle_instance(weights=np.array([1.0, 2.0, 3.0]))
+        assert instance.cover_weight(np.array([1, 0, 1])) == pytest.approx(4.0)
+
+    def test_empty_graph_always_covered(self):
+        instance = MVCInstance(adjacency=np.zeros((4, 4), dtype=bool))
+        assert instance.is_vertex_cover(np.zeros(4))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MVCInstance(adjacency=np.array([[0, 1], [0, 0]], dtype=bool))
+        with pytest.raises(ValueError):
+            MVCInstance(adjacency=np.eye(3, dtype=bool))
+        with pytest.raises(ValueError):
+            MVCInstance(adjacency=np.zeros((3, 3), dtype=bool), weights=np.ones(2))
+        with pytest.raises(ValueError):
+            MVCInstance(adjacency=np.zeros((3, 3), dtype=bool), weights=np.array([-1.0, 1.0, 1.0]))
+
+    def test_fingerprint_depends_on_weights(self):
+        a = triangle_instance(weights=np.array([1.0, 1.0, 1.0]))
+        b = triangle_instance(weights=np.array([1.0, 1.0, 2.0]))
+        assert a.fingerprint() != b.fingerprint()
+
+
+class TestMVCProblem:
+    def test_penalty_zero_iff_cover(self):
+        problem = MVCProblem(triangle_instance())
+        builder = problem.builder()
+        for bits in range(8):
+            x = np.array([(bits >> i) & 1 for i in range(3)], dtype=float)
+            penalty = builder.penalty_energy(x)
+            if problem.instance.is_vertex_cover(x):
+                assert penalty == pytest.approx(0.0)
+            else:
+                assert penalty > 0.5
+
+    def test_objective_is_cover_weight(self):
+        weights = np.array([1.0, 2.0, 3.0])
+        problem = MVCProblem(triangle_instance(weights=weights))
+        builder = problem.builder()
+        x = np.array([1.0, 1.0, 0.0])
+        assert builder.objective_energy(x) == pytest.approx(3.0)
+
+    def test_penalty_counts_uncovered_edges(self):
+        problem = MVCProblem(triangle_instance())
+        builder = problem.builder()
+        assert builder.penalty_energy(np.zeros(3)) == pytest.approx(3.0)
+        assert builder.penalty_energy(np.array([1.0, 0.0, 0.0])) == pytest.approx(1.0)
+
+    def test_fitness_and_feasibility(self):
+        problem = MVCProblem(triangle_instance(weights=np.array([1.0, 2.0, 3.0])))
+        assert problem.is_feasible(np.array([1, 1, 0]))
+        assert problem.fitness(np.array([1, 1, 0])) == pytest.approx(3.0)
+        with pytest.raises(ValueError):
+            problem.fitness(np.array([1, 0, 0]))
+
+    def test_relaxation_scale_is_max_weight(self):
+        problem = MVCProblem(triangle_instance(weights=np.array([0.5, 2.5, 1.0])))
+        assert problem.relaxation_scale() == pytest.approx(2.5)
+
+    def test_sufficient_penalty_makes_optimum_feasible(self):
+        # With sigma > max(w) the QUBO ground state must be a minimum cover.
+        weights = np.array([0.9, 0.7, 0.4])
+        problem = MVCProblem(triangle_instance(weights=weights))
+        model = problem.build_qubo(2.0)
+        best_energy = np.inf
+        best_x = None
+        for bits in range(8):
+            x = np.array([(bits >> i) & 1 for i in range(3)], dtype=float)
+            energy = model.energy(x)
+            if energy < best_energy:
+                best_energy = energy
+                best_x = x
+        assert problem.is_feasible(best_x)
+        assert problem.fitness(best_x) == pytest.approx(weights[2] + weights[1])
+
+
+class TestMVCGenerator:
+    def test_size_and_connectivity(self):
+        instance = generate_mvc_instance(RandomMVCConfig(num_vertices=20, edge_probability=0.3), rng=0)
+        assert instance.num_vertices == 20
+        assert np.all(instance.adjacency.sum(axis=1) >= 1)
+
+    def test_weighted_flag(self):
+        unweighted = generate_mvc_instance(RandomMVCConfig(num_vertices=8, weighted=False), rng=0)
+        np.testing.assert_allclose(unweighted.weights, 1.0)
+        weighted = generate_mvc_instance(RandomMVCConfig(num_vertices=8, weighted=True), rng=0)
+        assert weighted.weights.std() > 0
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            RandomMVCConfig(num_vertices=1)
+        with pytest.raises(ValueError):
+            RandomMVCConfig(edge_probability=0.0)
+
+    def test_dataset(self):
+        dataset = generate_mvc_dataset(3, rng=0)
+        assert len(dataset) == 3
+        assert len({instance.name for instance in dataset}) == 3
+        with pytest.raises(ValueError):
+            generate_mvc_dataset(0)
+
+
+class TestMVCHeuristics:
+    def test_greedy_produces_cover(self):
+        instance = generate_mvc_instance(RandomMVCConfig(num_vertices=15, edge_probability=0.3), rng=1)
+        cover = greedy_weighted_cover(instance)
+        assert instance.is_vertex_cover(cover)
+
+    def test_prune_keeps_cover_valid_and_no_heavier(self):
+        instance = generate_mvc_instance(RandomMVCConfig(num_vertices=12, edge_probability=0.4), rng=2)
+        cover = np.ones(12, dtype=np.int8)
+        pruned = prune_cover(instance, cover)
+        assert instance.is_vertex_cover(pruned)
+        assert instance.cover_weight(pruned) <= instance.cover_weight(cover)
+
+    def test_exact_on_triangle(self):
+        cover = exact_minimum_cover(triangle_instance())
+        assert cover.sum() == 2
+
+    def test_exact_respects_weights(self):
+        weights = np.array([10.0, 0.1, 0.1])
+        cover = exact_minimum_cover(triangle_instance(weights=weights))
+        assert cover[0] == 0  # the expensive vertex is avoided
+
+    def test_exact_size_limit(self):
+        instance = generate_mvc_instance(RandomMVCConfig(num_vertices=25), rng=0)
+        with pytest.raises(ValueError):
+            exact_minimum_cover(instance)
+
+    def test_best_known_weight_is_achievable(self):
+        instance = generate_mvc_instance(RandomMVCConfig(num_vertices=10, edge_probability=0.4), rng=3)
+        weight = best_known_cover_weight(instance)
+        exact = instance.cover_weight(exact_minimum_cover(instance))
+        assert weight == pytest.approx(exact)

@@ -1,0 +1,174 @@
+"""Unit tests for the numpy neural-network layers, including gradient checks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Dense, Dropout, LayerNorm, Module, ReLU, Sigmoid, Softplus, Tanh, sigmoid
+from repro.nn.losses import MSELoss
+
+
+def numerical_gradient(func, x, eps=1e-6):
+    """Central-difference gradient of a scalar function of an array."""
+    grad = np.zeros_like(x)
+    flat = x.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        plus = func()
+        flat[i] = original - eps
+        minus = func()
+        flat[i] = original
+        grad_flat[i] = (plus - minus) / (2 * eps)
+    return grad
+
+
+def check_input_gradient(module: Module, x: np.ndarray, atol=1e-5):
+    """Compare the module's backward pass against finite differences."""
+    loss = MSELoss()
+    target = np.zeros_like(module.forward(x))
+
+    def scalar():
+        return loss.value(module.forward(x), target)
+
+    expected = numerical_gradient(scalar, x)
+    output = module.forward(x)
+    analytic = module.backward(loss.gradient(output, target))
+    np.testing.assert_allclose(analytic, expected, atol=atol)
+
+
+class TestDense:
+    def test_forward_shape(self):
+        layer = Dense(4, 3, rng=0)
+        out = layer.forward(np.ones((5, 4)))
+        assert out.shape == (5, 3)
+
+    def test_input_gradient(self):
+        layer = Dense(4, 3, rng=0)
+        check_input_gradient(layer, np.random.default_rng(0).normal(size=(6, 4)))
+
+    def test_parameter_gradients(self):
+        rng = np.random.default_rng(1)
+        layer = Dense(3, 2, rng=0)
+        x = rng.normal(size=(5, 3))
+        target = rng.normal(size=(5, 2))
+        loss = MSELoss()
+
+        def scalar():
+            return loss.value(layer.forward(x), target)
+
+        expected_w = numerical_gradient(scalar, layer.weight.value)
+        expected_b = numerical_gradient(scalar, layer.bias.value)
+        layer.zero_grad()
+        layer.backward(loss.gradient(layer.forward(x), target))
+        np.testing.assert_allclose(layer.weight.grad, expected_w, atol=1e-5)
+        np.testing.assert_allclose(layer.bias.grad, expected_b, atol=1e-5)
+
+    def test_gradient_accumulates_until_zeroed(self):
+        layer = Dense(2, 2, rng=0)
+        x = np.ones((1, 2))
+        grad = np.ones((1, 2))
+        layer.forward(x)
+        layer.backward(grad)
+        first = layer.weight.grad.copy()
+        layer.forward(x)
+        layer.backward(grad)
+        np.testing.assert_allclose(layer.weight.grad, 2 * first)
+        layer.zero_grad()
+        np.testing.assert_allclose(layer.weight.grad, 0.0)
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            Dense(0, 3)
+        with pytest.raises(ValueError):
+            Dense(3, 3, initializer="unknown")
+
+    def test_backward_before_forward(self):
+        with pytest.raises(RuntimeError):
+            Dense(2, 2, rng=0).backward(np.ones((1, 2)))
+
+
+@pytest.mark.parametrize(
+    "module_factory",
+    [ReLU, Tanh, Sigmoid, Softplus],
+    ids=["relu", "tanh", "sigmoid", "softplus"],
+)
+class TestActivations:
+    def test_gradient(self, module_factory):
+        module = module_factory()
+        x = np.random.default_rng(0).normal(size=(4, 5)) * 2.0
+        check_input_gradient(module, x)
+
+    def test_shape_preserved(self, module_factory):
+        module = module_factory()
+        x = np.random.default_rng(1).normal(size=(3, 7))
+        assert module.forward(x).shape == x.shape
+
+
+class TestActivationValues:
+    def test_relu_clips_negatives(self):
+        out = ReLU().forward(np.array([[-1.0, 2.0]]))
+        np.testing.assert_allclose(out, [[0.0, 2.0]])
+
+    def test_sigmoid_range_and_stability(self):
+        values = sigmoid(np.array([-1000.0, 0.0, 1000.0]))
+        assert values[0] == pytest.approx(0.0)
+        assert values[1] == pytest.approx(0.5)
+        assert values[2] == pytest.approx(1.0)
+        assert np.all(np.isfinite(values))
+
+    def test_softplus_positive(self):
+        out = Softplus().forward(np.array([[-50.0, 0.0, 50.0]]))
+        assert np.all(out >= 0)
+        assert out[0, 2] == pytest.approx(50.0, rel=1e-6)
+
+
+class TestDropout:
+    def test_inference_is_identity(self):
+        dropout = Dropout(rate=0.5, rng=0)
+        dropout.eval()
+        x = np.ones((4, 4))
+        np.testing.assert_allclose(dropout.forward(x), x)
+
+    def test_training_masks_and_rescales(self):
+        dropout = Dropout(rate=0.5, rng=0)
+        dropout.train()
+        x = np.ones((200, 10))
+        out = dropout.forward(x)
+        assert np.any(out == 0.0)
+        assert out.mean() == pytest.approx(1.0, abs=0.15)
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            Dropout(rate=1.0)
+
+    def test_backward_uses_same_mask(self):
+        dropout = Dropout(rate=0.5, rng=0)
+        dropout.train()
+        x = np.ones((5, 5))
+        out = dropout.forward(x)
+        grad = dropout.backward(np.ones_like(x))
+        np.testing.assert_allclose((out == 0), (grad == 0))
+
+
+class TestLayerNorm:
+    def test_output_is_normalised(self):
+        layer = LayerNorm(6)
+        x = np.random.default_rng(0).normal(loc=5.0, scale=3.0, size=(4, 6))
+        out = layer.forward(x)
+        np.testing.assert_allclose(out.mean(axis=1), 0.0, atol=1e-7)
+        np.testing.assert_allclose(out.std(axis=1), 1.0, atol=1e-3)
+
+    def test_gradient(self):
+        layer = LayerNorm(5)
+        check_input_gradient(layer, np.random.default_rng(2).normal(size=(3, 5)), atol=1e-4)
+
+    def test_parameters_exposed(self):
+        layer = LayerNorm(4)
+        assert len(layer.parameters()) == 2
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            LayerNorm(0)

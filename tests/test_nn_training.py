@@ -1,0 +1,274 @@
+"""Unit tests for losses, optimisers, the Sequential container and the fit loop."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.graph import GraphConvEncoder
+from repro.nn.layers import Dense, ReLU, Sigmoid
+from repro.nn.losses import BCEWithLogitsLoss, HuberLoss, MSELoss
+from repro.nn.network import Sequential, fit, iterate_minibatches, mlp
+from repro.nn.optimizers import SGD, Adam
+from repro.nn.parameter import Parameter
+from repro.nn.serialization import load_parameters, load_state_dict, save_parameters, state_dict
+from repro.problems.tsp.generator import generate_instance
+
+
+class TestLosses:
+    def test_mse_value_and_gradient(self):
+        loss = MSELoss()
+        pred = np.array([[1.0], [2.0]])
+        target = np.array([[0.0], [0.0]])
+        assert loss.value(pred, target) == pytest.approx(2.5)
+        np.testing.assert_allclose(loss.gradient(pred, target), [[1.0], [2.0]])
+
+    def test_huber_quadratic_then_linear(self):
+        loss = HuberLoss(delta=1.0)
+        small = loss.value(np.array([0.5]), np.array([0.0]))
+        assert small == pytest.approx(0.125)
+        large = loss.value(np.array([3.0]), np.array([0.0]))
+        assert large == pytest.approx(1.0 * (3.0 - 0.5))
+
+    def test_huber_gradient_clipped(self):
+        loss = HuberLoss(delta=1.0)
+        grad = loss.gradient(np.array([5.0, -5.0, 0.2]), np.zeros(3))
+        np.testing.assert_allclose(grad, np.array([1.0, -1.0, 0.2]) / 3.0)
+
+    def test_huber_robust_to_outliers_compared_to_mse(self):
+        pred = np.array([0.0, 0.0, 100.0])
+        target = np.zeros(3)
+        assert HuberLoss().value(pred, target) < MSELoss().value(pred, target)
+
+    def test_bce_matches_manual_computation(self):
+        loss = BCEWithLogitsLoss()
+        logits = np.array([0.0, 2.0, -2.0])
+        targets = np.array([1.0, 1.0, 0.0])
+        probs = 1.0 / (1.0 + np.exp(-logits))
+        expected = -np.mean(targets * np.log(probs) + (1 - targets) * np.log(1 - probs))
+        assert loss.value(logits, targets) == pytest.approx(expected)
+
+    def test_bce_stable_for_extreme_logits(self):
+        loss = BCEWithLogitsLoss()
+        value = loss.value(np.array([1000.0, -1000.0]), np.array([1.0, 0.0]))
+        assert np.isfinite(value)
+        assert value == pytest.approx(0.0, abs=1e-9)
+
+    def test_bce_gradient_sign(self):
+        loss = BCEWithLogitsLoss()
+        grad = loss.gradient(np.array([0.0]), np.array([1.0]))
+        assert grad[0] < 0  # increasing the logit decreases the loss
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            MSELoss().value(np.zeros(3), np.zeros(4))
+
+    def test_huber_invalid_delta(self):
+        with pytest.raises(ValueError):
+            HuberLoss(delta=0.0)
+
+
+class TestOptimizers:
+    def _quadratic_problem(self):
+        # Minimise (w - 3)^2 via a single parameter.
+        param = Parameter(np.array([0.0]))
+        return param
+
+    def test_sgd_converges_on_quadratic(self):
+        param = self._quadratic_problem()
+        optimizer = SGD([param], learning_rate=0.1)
+        for _ in range(200):
+            param.zero_grad()
+            param.grad[...] = 2 * (param.value - 3.0)
+            optimizer.step()
+        assert param.value[0] == pytest.approx(3.0, abs=1e-4)
+
+    def test_sgd_momentum_converges(self):
+        param = self._quadratic_problem()
+        optimizer = SGD([param], learning_rate=0.05, momentum=0.9)
+        for _ in range(200):
+            param.zero_grad()
+            param.grad[...] = 2 * (param.value - 3.0)
+            optimizer.step()
+        assert param.value[0] == pytest.approx(3.0, abs=1e-3)
+
+    def test_adam_converges_on_quadratic(self):
+        param = self._quadratic_problem()
+        optimizer = Adam([param], learning_rate=0.1)
+        for _ in range(300):
+            param.zero_grad()
+            param.grad[...] = 2 * (param.value - 3.0)
+            optimizer.step()
+        assert param.value[0] == pytest.approx(3.0, abs=1e-3)
+
+    def test_adam_weight_decay_shrinks_solution(self):
+        no_decay = self._quadratic_problem()
+        decay = self._quadratic_problem()
+        opt_a = Adam([no_decay], learning_rate=0.1)
+        opt_b = Adam([decay], learning_rate=0.1, weight_decay=1.0)
+        for _ in range(300):
+            for param, opt in ((no_decay, opt_a), (decay, opt_b)):
+                param.zero_grad()
+                param.grad[...] = 2 * (param.value - 3.0)
+                opt.step()
+        assert abs(decay.value[0]) < abs(no_decay.value[0])
+
+    def test_invalid_hyperparameters(self):
+        param = Parameter(np.zeros(1))
+        with pytest.raises(ValueError):
+            SGD([param], learning_rate=0.0)
+        with pytest.raises(ValueError):
+            SGD([param], learning_rate=0.1, momentum=1.0)
+        with pytest.raises(ValueError):
+            Adam([param], learning_rate=0.1, beta1=1.0)
+        with pytest.raises(ValueError):
+            Adam([param], learning_rate=0.1, weight_decay=-0.1)
+
+
+class TestSequentialAndFit:
+    def test_mlp_structure(self):
+        network = mlp([4, 8, 2], rng=0)
+        assert network.forward(np.zeros((3, 4))).shape == (3, 2)
+        assert len(network.parameters()) == 4  # two Dense layers
+
+    def test_mlp_output_activation(self):
+        network = mlp([2, 4, 1], output_activation=Sigmoid, rng=0)
+        out = network.forward(np.random.default_rng(0).normal(size=(10, 2)))
+        assert np.all((out >= 0) & (out <= 1))
+
+    def test_mlp_validation(self):
+        with pytest.raises(ValueError):
+            mlp([4])
+        with pytest.raises(ValueError):
+            Sequential()
+
+    def test_train_eval_propagates(self):
+        network = Sequential(Dense(2, 2, rng=0), ReLU())
+        network.eval()
+        assert all(not module.training for module in network.modules)
+        network.train()
+        assert all(module.training for module in network.modules)
+
+    def test_iterate_minibatches_covers_dataset(self):
+        x = np.arange(10)[:, None].astype(float)
+        y = np.arange(10)[:, None].astype(float)
+        seen = []
+        for bx, _ in iterate_minibatches(x, y, batch_size=3, rng=np.random.default_rng(0)):
+            seen.extend(bx[:, 0].tolist())
+        assert sorted(seen) == list(range(10))
+
+    def test_fit_learns_linear_function(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(200, 3))
+        true_w = np.array([[1.0], [-2.0], [0.5]])
+        y = x @ true_w + 0.3
+        network = mlp([3, 16, 1], rng=0)
+        history = fit(
+            network,
+            x,
+            y,
+            optimizer=Adam(network.parameters(), learning_rate=5e-3),
+            num_epochs=200,
+            batch_size=32,
+            rng=0,
+        )
+        assert history.final_train_loss < 0.02
+        assert history.num_epochs <= 200
+
+    def test_fit_learns_binary_classification(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(300, 2))
+        y = (x[:, :1] + x[:, 1:] > 0).astype(float)
+        network = mlp([2, 16, 1], rng=0)
+        fit(network, x, y, loss=BCEWithLogitsLoss(), num_epochs=150, batch_size=32, rng=0)
+        logits = network.forward(x)
+        accuracy = np.mean((logits > 0) == (y > 0.5))
+        assert accuracy > 0.9
+
+    def test_fit_early_stopping(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(50, 2))
+        y = rng.normal(size=(50, 1))  # pure noise: validation stops improving fast
+        network = mlp([2, 8, 1], rng=0)
+        history = fit(
+            network,
+            x,
+            y,
+            num_epochs=500,
+            batch_size=16,
+            validation_data=(x, y),
+            patience=5,
+            rng=0,
+        )
+        assert history.num_epochs < 500
+
+    def test_fit_input_validation(self):
+        network = mlp([2, 4, 1], rng=0)
+        with pytest.raises(ValueError):
+            fit(network, np.zeros((3, 2)), np.zeros((4, 1)))
+        with pytest.raises(ValueError):
+            fit(network, np.zeros((3, 2)), np.zeros((3, 1)), num_epochs=0)
+
+
+class TestSerialization:
+    def test_state_dict_roundtrip(self):
+        network = mlp([3, 5, 2], rng=0)
+        other = mlp([3, 5, 2], rng=99)
+        load_state_dict(other, state_dict(network))
+        x = np.random.default_rng(0).normal(size=(4, 3))
+        np.testing.assert_allclose(other.forward(x), network.forward(x))
+
+    def test_file_roundtrip(self, tmp_path):
+        network = mlp([3, 5, 2], rng=0)
+        path = tmp_path / "weights.npz"
+        save_parameters(network, path)
+        other = mlp([3, 5, 2], rng=1)
+        load_parameters(other, path)
+        x = np.random.default_rng(1).normal(size=(4, 3))
+        np.testing.assert_allclose(other.forward(x), network.forward(x))
+
+    def test_shape_mismatch_rejected(self):
+        network = mlp([3, 5, 2], rng=0)
+        wrong = mlp([3, 6, 2], rng=0)
+        with pytest.raises((ValueError, KeyError)):
+            load_state_dict(wrong, state_dict(network))
+
+    def test_missing_parameters_rejected(self):
+        network = mlp([3, 5, 2], rng=0)
+        state = state_dict(network)
+        state.pop(next(iter(state)))
+        with pytest.raises((ValueError, KeyError)):
+            load_state_dict(network, state)
+
+
+class TestGraphConvEncoder:
+    def test_embedding_is_fixed_size_across_instance_sizes(self):
+        encoder = GraphConvEncoder(hidden_dim=8, rng=0)
+        small = encoder.encode(generate_instance(6, rng=0).distances)
+        large = encoder.encode(generate_instance(15, rng=1).distances)
+        assert small.shape == large.shape == (encoder.embedding_dim,)
+
+    def test_embedding_deterministic(self):
+        encoder = GraphConvEncoder(rng=0)
+        distances = generate_instance(8, rng=2).distances
+        np.testing.assert_allclose(encoder.encode(distances), encoder.encode(distances))
+
+    def test_scale_invariance(self):
+        encoder = GraphConvEncoder(rng=0)
+        distances = generate_instance(8, rng=3).distances
+        np.testing.assert_allclose(
+            encoder.encode(distances), encoder.encode(distances * 7.5), atol=1e-9
+        )
+
+    def test_different_instances_get_different_embeddings(self):
+        encoder = GraphConvEncoder(rng=0)
+        a = encoder.encode(generate_instance(8, rng=4).distances)
+        b = encoder.encode(generate_instance(8, rng=5).distances)
+        assert not np.allclose(a, b)
+
+    def test_validation(self):
+        encoder = GraphConvEncoder(rng=0)
+        with pytest.raises(ValueError):
+            encoder.encode(np.zeros((3, 4)))
+        with pytest.raises(ValueError):
+            GraphConvEncoder(num_layers=0)

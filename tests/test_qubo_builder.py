@@ -1,0 +1,114 @@
+"""Unit tests for penalty QUBO construction (repro.qubo.builder)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.qubo.builder import LinearConstraints, PenaltyQUBOBuilder, slack_encode_inequality
+from repro.qubo.model import QUBOModel
+
+
+@pytest.fixture
+def one_hot_constraints() -> LinearConstraints:
+    """x0 + x1 + x2 = 1 (one-hot selection over three variables)."""
+    return LinearConstraints(C=np.ones((1, 3)), d=np.array([1.0]))
+
+
+class TestLinearConstraints:
+    def test_violation_zero_when_satisfied(self, one_hot_constraints):
+        assert one_hot_constraints.violation(np.array([0, 1, 0])) == pytest.approx(0.0)
+
+    def test_violation_counts_squared_residual(self, one_hot_constraints):
+        assert one_hot_constraints.violation(np.array([1, 1, 1])) == pytest.approx(4.0)
+
+    def test_is_satisfied(self, one_hot_constraints):
+        assert one_hot_constraints.is_satisfied(np.array([1, 0, 0]))
+        assert not one_hot_constraints.is_satisfied(np.array([0, 0, 0]))
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            LinearConstraints(C=np.ones((2, 3)), d=np.ones(3))
+
+    def test_penalty_qubo_equals_violation(self, one_hot_constraints):
+        penalty = one_hot_constraints.penalty_qubo()
+        for bits in range(8):
+            x = np.array([(bits >> i) & 1 for i in range(3)], dtype=float)
+            assert penalty.energy(x) == pytest.approx(one_hot_constraints.violation(x))
+
+    def test_penalty_qubo_multiple_constraints(self):
+        constraints = LinearConstraints(
+            C=np.array([[1.0, 1.0, 0.0], [0.0, 1.0, 1.0]]), d=np.array([1.0, 1.0])
+        )
+        penalty = constraints.penalty_qubo()
+        for bits in range(8):
+            x = np.array([(bits >> i) & 1 for i in range(3)], dtype=float)
+            assert penalty.energy(x) == pytest.approx(constraints.violation(x))
+
+
+class TestPenaltyQUBOBuilder:
+    def test_build_combines_objective_and_penalty(self, one_hot_constraints):
+        objective = QUBOModel(np.diag([1.0, 2.0, 3.0]))
+        builder = PenaltyQUBOBuilder(objective, one_hot_constraints)
+        relaxed = builder.build(5.0)
+        x = np.array([1.0, 1.0, 0.0])
+        expected = objective.energy(x) + 5.0 * one_hot_constraints.violation(x)
+        assert relaxed.energy(x) == pytest.approx(expected)
+
+    def test_feasible_assignment_has_zero_penalty(self, one_hot_constraints):
+        objective = QUBOModel(np.diag([1.0, 2.0, 3.0]))
+        builder = PenaltyQUBOBuilder(objective, one_hot_constraints)
+        assert builder.is_feasible(np.array([0, 0, 1]))
+        assert not builder.is_feasible(np.array([1, 1, 0]))
+
+    def test_penalty_energy_independent_of_parameter(self, one_hot_constraints):
+        objective = QUBOModel(np.zeros((3, 3)))
+        builder = PenaltyQUBOBuilder(objective, one_hot_constraints)
+        x = np.array([1, 1, 1])
+        assert builder.penalty_energy(x) == pytest.approx(one_hot_constraints.violation(x))
+
+    def test_accepts_prebuilt_penalty_qubo(self):
+        objective = QUBOModel(np.diag([1.0, 1.0]))
+        penalty = QUBOModel(np.array([[1.0, -1.0], [-1.0, 1.0]]))
+        builder = PenaltyQUBOBuilder(objective, penalty)
+        relaxed = builder.build(2.0)
+        x = np.array([1.0, 0.0])
+        assert relaxed.energy(x) == pytest.approx(objective.energy(x) + 2.0 * penalty.energy(x))
+
+    def test_rejects_size_mismatch(self):
+        objective = QUBOModel(np.eye(2))
+        constraints = LinearConstraints(C=np.ones((1, 3)), d=np.array([1.0]))
+        with pytest.raises(ValueError):
+            PenaltyQUBOBuilder(objective, constraints)
+
+    def test_rejects_non_positive_parameter(self, one_hot_constraints):
+        builder = PenaltyQUBOBuilder(QUBOModel(np.zeros((3, 3))), one_hot_constraints)
+        with pytest.raises(ValueError):
+            builder.build(0.0)
+        with pytest.raises(ValueError):
+            builder.build(-1.0)
+
+    def test_larger_parameter_weights_constraints_more(self, one_hot_constraints):
+        objective = QUBOModel(np.diag([-1.0, -1.0, -1.0]))
+        builder = PenaltyQUBOBuilder(objective, one_hot_constraints)
+        infeasible = np.array([1.0, 1.0, 1.0])
+        small = builder.build(0.5).energy(infeasible)
+        large = builder.build(50.0).energy(infeasible)
+        assert large > small
+
+
+class TestSlackEncoding:
+    def test_basic_encoding(self):
+        extended, bound, num_slack = slack_encode_inequality([1.0, 2.0], bound=3.0)
+        assert bound == 3.0
+        assert num_slack >= 1
+        assert extended.shape[0] == 2 + num_slack
+
+    def test_slack_weights_cover_bound(self):
+        extended, bound, num_slack = slack_encode_inequality([1.0, 1.0, 1.0], bound=3.0)
+        slack_weights = extended[3:]
+        assert slack_weights.sum() >= bound - 1e-9
+
+    def test_infeasible_constraint_raises(self):
+        with pytest.raises(ValueError):
+            slack_encode_inequality([1.0, 1.0], bound=-5.0)

@@ -1,0 +1,175 @@
+"""Unit tests for repro.qubo.model (QUBOModel, Ising conversion, random_qubo)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.qubo.model import IsingModel, QUBOModel, random_qubo
+
+
+def brute_force_minimum(model: QUBOModel) -> float:
+    """Exhaustive ground-state energy for tiny models."""
+    n = model.num_variables
+    best = np.inf
+    for bits in range(2**n):
+        x = np.array([(bits >> i) & 1 for i in range(n)], dtype=float)
+        best = min(best, model.energy(x))
+    return best
+
+
+class TestQUBOModelBasics:
+    def test_symmetrisation_preserves_energy(self):
+        Q = np.array([[1.0, 2.0], [0.0, -1.0]])
+        model = QUBOModel(Q)
+        x = np.array([1.0, 1.0])
+        assert model.energy(x) == pytest.approx(1.0 + 2.0 - 1.0)
+        np.testing.assert_allclose(model.Q, model.Q.T)
+
+    def test_q_is_read_only(self):
+        model = QUBOModel(np.eye(3))
+        with pytest.raises(ValueError):
+            model.Q[0, 0] = 5.0
+
+    def test_offset_added_to_energy(self):
+        model = QUBOModel(np.zeros((2, 2)), offset=3.5)
+        assert model.energy(np.zeros(2)) == pytest.approx(3.5)
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            QUBOModel(np.ones((2, 3)))
+
+    def test_energy_shape_validation(self):
+        model = QUBOModel(np.eye(3))
+        with pytest.raises(ValueError):
+            model.energy(np.zeros(2))
+
+    def test_energies_batch_matches_scalar(self):
+        rng = np.random.default_rng(0)
+        model = random_qubo(6, rng=rng)
+        X = rng.integers(0, 2, size=(10, 6)).astype(float)
+        batch = model.energies(X)
+        scalar = np.array([model.energy(x) for x in X])
+        np.testing.assert_allclose(batch, scalar)
+
+    def test_energies_batch_shape_validation(self):
+        model = QUBOModel(np.eye(3))
+        with pytest.raises(ValueError):
+            model.energies(np.zeros((4, 2)))
+
+
+class TestLocalFields:
+    def test_local_fields_match_explicit_flips(self):
+        rng = np.random.default_rng(1)
+        model = random_qubo(5, rng=rng)
+        X = rng.integers(0, 2, size=(4, 5)).astype(float)
+        deltas = model.local_fields(X)
+        for b in range(4):
+            for i in range(5):
+                flipped = X[b].copy()
+                flipped[i] = 1.0 - flipped[i]
+                expected = model.energy(flipped) - model.energy(X[b])
+                assert deltas[b, i] == pytest.approx(expected, abs=1e-9)
+
+
+class TestDictConversion:
+    def test_from_dict_roundtrip(self):
+        coeffs = {(0, 0): 1.5, (0, 1): -2.0, (1, 2): 0.5}
+        model = QUBOModel.from_dict(coeffs, num_variables=3)
+        back = model.to_dict()
+        assert back[(0, 0)] == pytest.approx(1.5)
+        assert back[(0, 1)] == pytest.approx(-2.0)
+        assert back[(1, 2)] == pytest.approx(0.5)
+
+    def test_from_dict_infers_size(self):
+        model = QUBOModel.from_dict({(2, 4): 1.0})
+        assert model.num_variables == 5
+
+    def test_from_dict_empty_requires_size(self):
+        with pytest.raises(ValueError):
+            QUBOModel.from_dict({})
+
+    def test_from_dict_out_of_range(self):
+        with pytest.raises(ValueError):
+            QUBOModel.from_dict({(0, 5): 1.0}, num_variables=3)
+
+
+class TestAlgebra:
+    def test_addition_adds_energies(self):
+        rng = np.random.default_rng(2)
+        a = random_qubo(4, rng=rng)
+        b = random_qubo(4, rng=rng)
+        x = rng.integers(0, 2, size=4).astype(float)
+        assert (a + b).energy(x) == pytest.approx(a.energy(x) + b.energy(x))
+
+    def test_addition_size_mismatch(self):
+        with pytest.raises(ValueError):
+            _ = QUBOModel(np.eye(2)) + QUBOModel(np.eye(3))
+
+    def test_scaling(self):
+        rng = np.random.default_rng(3)
+        model = random_qubo(4, rng=rng)
+        x = rng.integers(0, 2, size=4).astype(float)
+        assert (2.5 * model).energy(x) == pytest.approx(2.5 * model.energy(x))
+
+    def test_scaled_offset(self):
+        model = QUBOModel(np.zeros((2, 2)), offset=2.0)
+        assert model.scaled(3.0).offset == pytest.approx(6.0)
+
+
+class TestIsingConversion:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_energy_equivalence(self, seed):
+        rng = np.random.default_rng(seed)
+        model = random_qubo(6, rng=rng)
+        ising = model.to_ising()
+        for _ in range(10):
+            x = rng.integers(0, 2, size=6).astype(float)
+            s = 2.0 * x - 1.0
+            ising_energy = float(ising.h @ s + s @ ising.J @ s + ising.offset)
+            assert ising_energy == pytest.approx(model.energy(x), rel=1e-9, abs=1e-9)
+
+    def test_roundtrip(self):
+        rng = np.random.default_rng(5)
+        model = random_qubo(5, rng=rng)
+        back = QUBOModel.from_ising(model.to_ising())
+        for _ in range(8):
+            x = rng.integers(0, 2, size=5).astype(float)
+            assert back.energy(x) == pytest.approx(model.energy(x), abs=1e-9)
+
+    def test_ising_j_zero_diagonal(self):
+        ising = random_qubo(4, rng=0).to_ising()
+        np.testing.assert_allclose(np.diag(ising.J), 0.0)
+
+    def test_from_ising_rejects_nonzero_diagonal(self):
+        with pytest.raises(ValueError):
+            QUBOModel.from_ising(IsingModel(h=np.zeros(2), J=np.eye(2), offset=0.0))
+
+
+class TestRandomQubo:
+    def test_shape_and_symmetry(self):
+        model = random_qubo(7, rng=0)
+        assert model.num_variables == 7
+        np.testing.assert_allclose(model.Q, model.Q.T)
+
+    def test_density_reduces_nonzeros(self):
+        dense = random_qubo(20, density=1.0, rng=0)
+        sparse = random_qubo(20, density=0.2, rng=0)
+        assert np.count_nonzero(sparse.Q) < np.count_nonzero(dense.Q)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            random_qubo(0)
+        with pytest.raises(ValueError):
+            random_qubo(5, density=0.0)
+
+    def test_fingerprint_stable_and_distinct(self):
+        a = random_qubo(5, rng=0)
+        b = random_qubo(5, rng=0)
+        c = random_qubo(5, rng=1)
+        assert a.fingerprint() == b.fingerprint()
+        assert a.fingerprint() != c.fingerprint()
+
+    def test_max_abs_coefficient(self):
+        model = QUBOModel(np.array([[0.0, -3.0], [-3.0, 1.0]]))
+        assert model.max_abs_coefficient() == pytest.approx(3.0)

@@ -1,0 +1,100 @@
+"""Unit tests for SampleSet / SampleRecord."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.qubo.sampleset import SampleRecord, SampleSet
+
+
+@pytest.fixture
+def sample_set() -> SampleSet:
+    assignments = np.array([[1, 0, 1], [0, 0, 0], [1, 1, 1], [0, 1, 0]], dtype=np.int8)
+    energies = np.array([5.0, 1.0, 9.0, 3.0])
+    return SampleSet(assignments, energies, solver_name="test")
+
+
+class TestConstruction:
+    def test_sorted_by_energy(self, sample_set):
+        assert list(sample_set.energies) == sorted(sample_set.energies)
+        assert sample_set.best.energy == pytest.approx(1.0)
+        np.testing.assert_array_equal(sample_set.best.assignment, [0, 0, 0])
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            SampleSet(np.zeros((3, 2)), np.zeros(2))
+        with pytest.raises(ValueError):
+            SampleSet(np.zeros(3), np.zeros(3))
+
+    def test_occurrences_validation(self):
+        with pytest.raises(ValueError):
+            SampleSet(np.zeros((2, 2)), np.zeros(2), num_occurrences=np.ones(3))
+
+    def test_len_and_iteration(self, sample_set):
+        assert len(sample_set) == 4
+        records = list(sample_set)
+        assert all(isinstance(r, SampleRecord) for r in records)
+        assert records[0].energy <= records[-1].energy
+
+    def test_empty_best_raises(self):
+        empty = SampleSet(np.zeros((0, 3), dtype=np.int8), np.zeros(0))
+        with pytest.raises(ValueError):
+            _ = empty.best
+
+
+class TestStatistics:
+    def test_probability_of_feasibility(self, sample_set):
+        pf = sample_set.probability_of_feasibility(lambda x: x.sum() >= 2)
+        assert pf == pytest.approx(0.5)
+
+    def test_probability_weighted_by_occurrences(self):
+        assignments = np.array([[1, 1], [0, 0]], dtype=np.int8)
+        energies = np.array([1.0, 2.0])
+        occurrences = np.array([3, 1])
+        samples = SampleSet(assignments, energies, num_occurrences=occurrences)
+        pf = samples.probability_of_feasibility(lambda x: x.sum() == 2)
+        assert pf == pytest.approx(0.75)
+
+    def test_probability_empty_set(self):
+        empty = SampleSet(np.zeros((0, 2), dtype=np.int8), np.zeros(0))
+        assert empty.probability_of_feasibility(lambda x: True) == 0.0
+
+    def test_energy_statistics(self, sample_set):
+        mean, std = sample_set.energy_statistics()
+        assert mean == pytest.approx(np.mean([5.0, 1.0, 9.0, 3.0]))
+        assert std == pytest.approx(np.std([5.0, 1.0, 9.0, 3.0]))
+
+    def test_energy_statistics_empty_raises(self):
+        empty = SampleSet(np.zeros((0, 2), dtype=np.int8), np.zeros(0))
+        with pytest.raises(ValueError):
+            empty.energy_statistics()
+
+    def test_feasible_fitnesses(self, sample_set):
+        fitnesses = sample_set.feasible_fitnesses(lambda x: x.sum() >= 2, lambda x: float(x.sum()))
+        assert sorted(fitnesses.tolist()) == [2.0, 3.0]
+
+
+class TestTools:
+    def test_truncated_keeps_lowest_energy(self, sample_set):
+        truncated = sample_set.truncated(2)
+        assert truncated.num_samples == 2
+        assert truncated.energies.max() <= sample_set.energies[2]
+
+    def test_truncated_validates(self, sample_set):
+        with pytest.raises(ValueError):
+            sample_set.truncated(0)
+
+    def test_concatenate(self, sample_set):
+        merged = SampleSet.concatenate([sample_set, sample_set])
+        assert merged.num_samples == 8
+        assert merged.best.energy == pytest.approx(1.0)
+
+    def test_concatenate_mismatched_widths(self, sample_set):
+        other = SampleSet(np.zeros((1, 2), dtype=np.int8), np.zeros(1))
+        with pytest.raises(ValueError):
+            SampleSet.concatenate([sample_set, other])
+
+    def test_concatenate_empty_list(self):
+        with pytest.raises(ValueError):
+            SampleSet.concatenate([])

@@ -1,0 +1,115 @@
+"""Interface invariants shared by every QUBO solver backend."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.qubo.model import QUBOModel, random_qubo
+from repro.solvers.digital_annealer import DigitalAnnealerConfig, DigitalAnnealerSolver
+from repro.solvers.qbsolv import QbsolvConfig, QbsolvSolver
+from repro.solvers.quantum_annealer import QuantumAnnealerConfig, QuantumAnnealerSolver
+from repro.solvers.random_solver import RandomSolver
+from repro.solvers.simulated_annealing import SimulatedAnnealingConfig, SimulatedAnnealingSolver
+from repro.solvers.tabu import TabuSearchConfig, TabuSearchSolver
+
+
+def all_solvers():
+    """One cheaply-configured instance of every backend."""
+    return [
+        RandomSolver(),
+        SimulatedAnnealingSolver(SimulatedAnnealingConfig(num_sweeps=20)),
+        DigitalAnnealerSolver(DigitalAnnealerConfig(steps_per_variable=8)),
+        TabuSearchSolver(TabuSearchConfig(num_steps=60)),
+        QbsolvSolver(QbsolvConfig(subproblem_size=6, max_rounds=2)),
+        QuantumAnnealerSolver(),
+    ]
+
+
+SOLVER_IDS = [solver.name for solver in all_solvers()]
+
+
+@pytest.fixture(params=all_solvers(), ids=SOLVER_IDS)
+def solver(request):
+    return request.param
+
+
+@pytest.fixture
+def small_model() -> QUBOModel:
+    return random_qubo(10, rng=3)
+
+
+class TestSolverInterface:
+    def test_returns_requested_number_of_reads(self, solver, small_model):
+        samples = solver.sample(small_model, num_reads=5, rng=0)
+        assert samples.num_samples == 5
+        assert samples.num_variables == 10
+
+    def test_assignments_are_binary(self, solver, small_model):
+        samples = solver.sample(small_model, num_reads=4, rng=0)
+        assert set(np.unique(samples.assignments)).issubset({0, 1})
+
+    def test_energies_match_model(self, solver, small_model):
+        samples = solver.sample(small_model, num_reads=4, rng=0)
+        recomputed = small_model.energies(samples.assignments.astype(float))
+        np.testing.assert_allclose(samples.energies, recomputed, rtol=1e-9, atol=1e-9)
+
+    def test_deterministic_given_seed(self, solver, small_model):
+        if isinstance(solver, QuantumAnnealerSolver):
+            pytest.skip("noise model consumes extra random numbers by design")
+        first = solver.sample(small_model, num_reads=3, rng=123)
+        second = solver.sample(small_model, num_reads=3, rng=123)
+        np.testing.assert_array_equal(first.assignments, second.assignments)
+
+    def test_invalid_num_reads(self, solver, small_model):
+        with pytest.raises(ValueError):
+            solver.sample(small_model, num_reads=0)
+
+    def test_sample_best_returns_assignment(self, solver, small_model):
+        best = solver.sample_best(small_model, num_reads=3, rng=0)
+        assert best.shape == (10,)
+
+    def test_info_contains_solver_name(self, solver, small_model):
+        samples = solver.sample(small_model, num_reads=2, rng=0)
+        assert samples.solver_name == solver.name
+        assert samples.info["solver"] == solver.name
+        assert samples.info["wall_time_s"] >= 0.0
+
+
+class TestOptimisationQuality:
+    """Every non-trivial solver should beat random sampling on a simple QUBO."""
+
+    @pytest.mark.parametrize(
+        "make_solver",
+        [
+            lambda: SimulatedAnnealingSolver(SimulatedAnnealingConfig(num_sweeps=50)),
+            lambda: DigitalAnnealerSolver(DigitalAnnealerConfig(steps_per_variable=20)),
+            lambda: TabuSearchSolver(TabuSearchConfig(num_steps=200)),
+            lambda: QbsolvSolver(QbsolvConfig(subproblem_size=8, max_rounds=3)),
+        ],
+        ids=["sa", "da", "tabu", "qbsolv"],
+    )
+    def test_finds_ground_state_of_separable_qubo(self, make_solver):
+        # Separable QUBO: optimal assignment sets exactly the variables with
+        # negative diagonal, ground energy is the sum of the negative entries.
+        diag = np.array([-3.0, 2.0, -1.0, 4.0, -2.0, 1.0, -0.5, 0.5])
+        model = QUBOModel(np.diag(diag))
+        ground = diag[diag < 0].sum()
+        samples = make_solver().sample(model, num_reads=4, rng=0)
+        assert samples.best.energy == pytest.approx(ground, abs=1e-9)
+
+    def test_annealers_beat_random_on_dense_qubo(self):
+        model = random_qubo(30, rng=7)
+        random_best = RandomSolver().sample(model, num_reads=20, rng=0).best.energy
+        sa_best = (
+            SimulatedAnnealingSolver(SimulatedAnnealingConfig(num_sweeps=60))
+            .sample(model, num_reads=8, rng=0)
+            .best.energy
+        )
+        da_best = (
+            DigitalAnnealerSolver(DigitalAnnealerConfig(steps_per_variable=25))
+            .sample(model, num_reads=8, rng=0)
+            .best.energy
+        )
+        assert sa_best < random_best
+        assert da_best < random_best

@@ -1,0 +1,180 @@
+"""Backend-specific solver tests: schedules, configs and behavioural details."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.qubo.model import QUBOModel, random_qubo
+from repro.qubo.precision import AnalogNoiseModel
+from repro.solvers.digital_annealer import DigitalAnnealerConfig, DigitalAnnealerSolver
+from repro.solvers.qbsolv import QbsolvConfig, QbsolvSolver
+from repro.solvers.quantum_annealer import QuantumAnnealerConfig, QuantumAnnealerSolver
+from repro.solvers.schedules import (
+    GeometricSchedule,
+    LinearSchedule,
+    default_temperature_range,
+    resolve_schedule,
+)
+from repro.solvers.simulated_annealing import SimulatedAnnealingConfig, SimulatedAnnealingSolver
+from repro.solvers.tabu import TabuSearchConfig, TabuSearchSolver
+
+
+class TestSchedules:
+    def test_geometric_endpoints(self):
+        temps = GeometricSchedule(t_initial=10.0, t_final=0.1)(5)
+        assert temps[0] == pytest.approx(10.0)
+        assert temps[-1] == pytest.approx(0.1)
+        assert np.all(np.diff(temps) < 0)
+
+    def test_geometric_single_sweep(self):
+        temps = GeometricSchedule(t_initial=4.0, t_final=1.0)(1)
+        assert temps.shape == (1,)
+        assert temps[0] == pytest.approx(4.0)
+
+    def test_linear_endpoints(self):
+        temps = LinearSchedule(t_initial=5.0, t_final=1.0)(9)
+        assert temps[0] == pytest.approx(5.0)
+        assert temps[-1] == pytest.approx(1.0)
+        np.testing.assert_allclose(np.diff(temps), np.diff(temps)[0])
+
+    def test_invalid_ranges(self):
+        with pytest.raises(ValueError):
+            GeometricSchedule(t_initial=1.0, t_final=2.0)
+        with pytest.raises(ValueError):
+            LinearSchedule(t_initial=-1.0, t_final=0.5)
+        with pytest.raises(ValueError):
+            GeometricSchedule(t_initial=1.0, t_final=0.5)(0)
+
+    def test_default_range_scales_with_coefficients(self):
+        small = default_temperature_range(random_qubo(10, scale=1.0, rng=0))
+        large = default_temperature_range(random_qubo(10, scale=100.0, rng=0))
+        assert large[0] > small[0]
+        assert small[0] > small[1] > 0
+
+    def test_resolve_schedule_prefers_explicit(self):
+        model = random_qubo(5, rng=0)
+        explicit = LinearSchedule(t_initial=2.0, t_final=1.0)
+        assert resolve_schedule(model, explicit) is explicit
+        automatic = resolve_schedule(model, None)
+        assert isinstance(automatic, GeometricSchedule)
+
+
+class TestConfigValidation:
+    def test_sa_config(self):
+        with pytest.raises(ValueError):
+            SimulatedAnnealingConfig(num_sweeps=0)
+
+    def test_da_config(self):
+        with pytest.raises(ValueError):
+            DigitalAnnealerConfig(num_steps=0)
+        with pytest.raises(ValueError):
+            DigitalAnnealerConfig(steps_per_variable=0)
+        with pytest.raises(ValueError):
+            DigitalAnnealerConfig(offset_increase_rate=-1.0)
+
+    def test_tabu_config(self):
+        with pytest.raises(ValueError):
+            TabuSearchConfig(num_steps=0)
+        with pytest.raises(ValueError):
+            TabuSearchConfig(restart_after=0)
+        with pytest.raises(ValueError):
+            TabuSearchConfig(tenure=-1)
+
+    def test_qbsolv_config(self):
+        with pytest.raises(ValueError):
+            QbsolvConfig(subproblem_size=1)
+        with pytest.raises(ValueError):
+            QbsolvConfig(max_rounds=0)
+        with pytest.raises(ValueError):
+            QbsolvConfig(num_restarts=0)
+
+
+class TestDigitalAnnealer:
+    def test_explicit_step_count_used(self):
+        solver = DigitalAnnealerSolver(DigitalAnnealerConfig(num_steps=17))
+        samples = solver.sample(random_qubo(6, rng=0), num_reads=2, rng=0)
+        assert samples.info["num_steps"] == 17
+
+    def test_steps_scale_with_size(self):
+        solver = DigitalAnnealerSolver(DigitalAnnealerConfig(steps_per_variable=5))
+        samples = solver.sample(random_qubo(8, rng=0), num_reads=1, rng=0)
+        assert samples.info["num_steps"] == 40
+
+    def test_returns_best_seen_not_final(self):
+        # The DA keeps the best state seen during the walk, so its reported
+        # energy can never be worse than a single random state from the seed.
+        model = random_qubo(15, rng=1)
+        solver = DigitalAnnealerSolver(DigitalAnnealerConfig(steps_per_variable=15))
+        samples = solver.sample(model, num_reads=6, rng=2)
+        random_energy = model.energies(
+            np.random.default_rng(2).integers(0, 2, size=(6, 15)).astype(float)
+        ).min()
+        assert samples.best.energy <= random_energy + 1e-9
+
+
+class TestTabuSearch:
+    def test_refine_improves_or_keeps_energy(self):
+        model = random_qubo(12, rng=4)
+        solver = TabuSearchSolver(TabuSearchConfig(num_steps=150))
+        start = np.random.default_rng(0).integers(0, 2, size=12).astype(np.int8)
+        refined = solver.refine(model, start, rng=0)
+        assert model.energy(refined.astype(float)) <= model.energy(start.astype(float)) + 1e-9
+
+    def test_auto_tenure_for_small_problems(self):
+        solver = TabuSearchSolver(TabuSearchConfig(num_steps=30))
+        samples = solver.sample(random_qubo(4, rng=0), num_reads=1, rng=0)
+        assert samples.num_samples == 1
+
+
+class TestQbsolv:
+    def test_handles_problems_smaller_than_window(self):
+        solver = QbsolvSolver(QbsolvConfig(subproblem_size=64, max_rounds=2))
+        samples = solver.sample(random_qubo(6, rng=0), num_reads=2, rng=0)
+        assert samples.num_samples == 2
+
+    def test_decomposition_matches_tabu_on_small_problem(self):
+        # When the window covers the whole problem, qbsolv reduces to tabu and
+        # should find the separable ground state exactly.
+        diag = np.array([-2.0, 1.0, -4.0, 0.5, -1.0])
+        model = QUBOModel(np.diag(diag))
+        solver = QbsolvSolver(QbsolvConfig(subproblem_size=5, max_rounds=2))
+        best = solver.sample(model, num_reads=2, rng=0).best
+        assert best.energy == pytest.approx(diag[diag < 0].sum())
+
+    def test_multiple_restarts_never_hurt(self):
+        model = random_qubo(20, rng=9)
+        single = QbsolvSolver(QbsolvConfig(subproblem_size=10, max_rounds=2, num_restarts=1))
+        multi = QbsolvSolver(QbsolvConfig(subproblem_size=10, max_rounds=2, num_restarts=3))
+        single_best = single.sample(model, num_reads=1, rng=5).best.energy
+        multi_best = multi.sample(model, num_reads=1, rng=5).best.energy
+        assert multi_best <= single_best + 1e-9
+
+
+class TestQuantumAnnealer:
+    def test_energies_scored_against_exact_model(self):
+        model = random_qubo(8, rng=0)
+        solver = QuantumAnnealerSolver()
+        samples = solver.sample(model, num_reads=4, rng=0)
+        recomputed = model.energies(samples.assignments.astype(float))
+        np.testing.assert_allclose(samples.energies, recomputed)
+
+    def test_noise_metadata_reported(self):
+        config = QuantumAnnealerConfig(noise=AnalogNoiseModel(relative_error=0.07))
+        samples = QuantumAnnealerSolver(config).sample(random_qubo(6, rng=0), num_reads=2, rng=0)
+        assert samples.info["relative_error"] == pytest.approx(0.07)
+
+    def test_noisier_device_gives_worse_or_equal_quality(self):
+        # With a huge dynamic range the noisy device should, on average, return
+        # higher exact energies than the noiseless annealer.
+        Q = np.diag(np.concatenate([np.full(5, -1.0), np.full(5, -1000.0)]))
+        model = QUBOModel(Q)
+        quiet = QuantumAnnealerSolver(
+            QuantumAnnealerConfig(noise=AnalogNoiseModel(0.0, 0.0), quantization=None)
+        )
+        noisy = QuantumAnnealerSolver(
+            QuantumAnnealerConfig(noise=AnalogNoiseModel(relative_error=0.5, absolute_error=0.5), quantization=None)
+        )
+        quiet_energy = np.mean([quiet.sample(model, num_reads=4, rng=s).best.energy for s in range(4)])
+        noisy_energy = np.mean([noisy.sample(model, num_reads=4, rng=s).best.energy for s in range(4)])
+        assert quiet_energy <= noisy_energy + 1e-9

@@ -1,0 +1,111 @@
+"""Unit tests for the classical TSP reference heuristics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.problems.tsp.generator import generate_instance
+from repro.problems.tsp.heuristics import (
+    brute_force_optimal_tour,
+    held_karp_optimal_tour,
+    nearest_neighbour_tour,
+    reference_tour_length,
+    two_opt,
+)
+from repro.problems.tsp.instance import TSPInstance
+
+
+class TestNearestNeighbour:
+    def test_returns_permutation(self):
+        instance = generate_instance(9, rng=0)
+        tour = nearest_neighbour_tour(instance)
+        assert sorted(tour.tolist()) == list(range(9))
+
+    def test_starts_at_requested_city(self):
+        instance = generate_instance(7, rng=1)
+        assert nearest_neighbour_tour(instance, start=3)[0] == 3
+
+    def test_invalid_start(self):
+        instance = generate_instance(5, rng=0)
+        with pytest.raises(ValueError):
+            nearest_neighbour_tour(instance, start=5)
+
+    def test_greedy_picks_closest_city_first(self):
+        coords = np.array([[0.0, 0.0], [1.0, 0.0], [10.0, 0.0], [20.0, 0.0]])
+        instance = TSPInstance.from_coordinates(coords)
+        tour = nearest_neighbour_tour(instance, start=0)
+        assert tour[1] == 1
+
+
+class TestTwoOpt:
+    def test_never_worsens(self):
+        instance = generate_instance(10, rng=2)
+        initial = np.arange(10)
+        improved = two_opt(instance, initial)
+        assert instance.tour_length(improved) <= instance.tour_length(initial) + 1e-9
+
+    def test_reaches_optimum_on_small_instances(self):
+        instance = generate_instance(7, rng=3)
+        _, optimal = brute_force_optimal_tour(instance)
+        best = np.inf
+        for start in range(7):
+            tour = two_opt(instance, nearest_neighbour_tour(instance, start=start))
+            best = min(best, instance.tour_length(tour))
+        assert best == pytest.approx(optimal, rel=0.05)
+
+    def test_untangles_crossing(self):
+        # A tour visiting square corners in crossing order must be untangled.
+        coords = np.array([[0.0, 0.0], [1.0, 0.0], [1.0, 1.0], [0.0, 1.0]])
+        instance = TSPInstance.from_coordinates(coords)
+        crossed = np.array([0, 2, 1, 3])
+        improved = two_opt(instance, crossed)
+        assert instance.tour_length(improved) == pytest.approx(4.0)
+
+
+class TestExactSolvers:
+    def test_held_karp_matches_brute_force(self):
+        for seed in range(3):
+            instance = generate_instance(7, rng=seed)
+            _, brute = brute_force_optimal_tour(instance)
+            hk_tour, hk_length = held_karp_optimal_tour(instance)
+            assert hk_length == pytest.approx(brute, rel=1e-9)
+            assert instance.tour_length(hk_tour) == pytest.approx(hk_length, rel=1e-9)
+
+    def test_held_karp_size_limit(self):
+        instance = generate_instance(14, rng=0)
+        with pytest.raises(ValueError):
+            held_karp_optimal_tour(instance)
+
+    def test_brute_force_size_limit(self):
+        instance = generate_instance(10, rng=0)
+        with pytest.raises(ValueError):
+            brute_force_optimal_tour(instance)
+
+    def test_known_square_optimum(self):
+        coords = np.array([[0.0, 0.0], [1.0, 0.0], [1.0, 1.0], [0.0, 1.0]])
+        instance = TSPInstance.from_coordinates(coords)
+        _, length = held_karp_optimal_tour(instance)
+        assert length == pytest.approx(4.0)
+
+
+class TestReferenceLength:
+    def test_uses_best_known_when_available(self):
+        instance = generate_instance(6, rng=0)
+        instance.best_known_length = 123.0
+        assert reference_tour_length(instance) == 123.0
+
+    def test_exact_for_small_instances(self):
+        instance = generate_instance(8, rng=1)
+        _, optimal = brute_force_optimal_tour(instance)
+        assert reference_tour_length(instance) == pytest.approx(optimal, rel=1e-9)
+
+    def test_heuristic_for_larger_instances(self):
+        instance = generate_instance(20, rng=2)
+        reference = reference_tour_length(instance, rng=0)
+        nn_length = instance.tour_length(nearest_neighbour_tour(instance))
+        assert reference <= nn_length + 1e-9
+
+    def test_deterministic_given_rng(self):
+        instance = generate_instance(18, rng=3)
+        assert reference_tour_length(instance, rng=0) == reference_tour_length(instance, rng=0)

@@ -1,0 +1,169 @@
+"""Unit tests for the TSPLIB parser/writer and the bundled offline suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.problems.tsp.generator import generate_instance
+from repro.problems.tsp.tsplib import (
+    BUNDLED_SUITE_SPEC,
+    bundled_tsplib_suite,
+    load_tsplib_file,
+    parse_tsplib,
+    write_tsplib_file,
+)
+
+EUC_2D_FILE = """
+NAME : toy4
+TYPE : TSP
+COMMENT : unit square
+DIMENSION : 4
+EDGE_WEIGHT_TYPE : EUC_2D
+NODE_COORD_SECTION
+1 0.0 0.0
+2 3.0 0.0
+3 3.0 4.0
+4 0.0 4.0
+EOF
+"""
+
+EXPLICIT_FULL_MATRIX_FILE = """
+NAME : explicit3
+TYPE : TSP
+DIMENSION : 3
+EDGE_WEIGHT_TYPE : EXPLICIT
+EDGE_WEIGHT_FORMAT : FULL_MATRIX
+EDGE_WEIGHT_SECTION
+0 2 3
+2 0 4
+3 4 0
+EOF
+"""
+
+EXPLICIT_UPPER_ROW_FILE = """
+NAME : upper3
+TYPE : TSP
+DIMENSION : 3
+EDGE_WEIGHT_TYPE : EXPLICIT
+EDGE_WEIGHT_FORMAT : UPPER_ROW
+EDGE_WEIGHT_SECTION
+2 3
+4
+EOF
+"""
+
+GEO_FILE = """
+NAME : geo3
+TYPE : TSP
+DIMENSION : 3
+EDGE_WEIGHT_TYPE : GEO
+NODE_COORD_SECTION
+1 38.24 20.42
+2 39.57 26.15
+3 40.56 25.32
+EOF
+"""
+
+ATT_FILE = """
+NAME : att3
+TYPE : TSP
+DIMENSION : 3
+EDGE_WEIGHT_TYPE : ATT
+NODE_COORD_SECTION
+1 0 0
+2 10 0
+3 0 10
+EOF
+"""
+
+
+class TestParser:
+    def test_euc_2d_rounding(self):
+        instance = parse_tsplib(EUC_2D_FILE)
+        assert instance.name == "toy4"
+        assert instance.num_cities == 4
+        # TSPLIB EUC_2D distances are rounded to the nearest integer.
+        assert instance.distances[0, 1] == pytest.approx(3.0)
+        assert instance.distances[0, 2] == pytest.approx(5.0)
+
+    def test_explicit_full_matrix(self):
+        instance = parse_tsplib(EXPLICIT_FULL_MATRIX_FILE)
+        assert instance.distances[0, 1] == 2.0
+        assert instance.distances[1, 2] == 4.0
+        np.testing.assert_allclose(instance.distances, instance.distances.T)
+
+    def test_explicit_upper_row(self):
+        instance = parse_tsplib(EXPLICIT_UPPER_ROW_FILE)
+        assert instance.distances[0, 1] == 2.0
+        assert instance.distances[0, 2] == 3.0
+        assert instance.distances[1, 2] == 4.0
+
+    def test_geo_distances_are_positive_integers(self):
+        instance = parse_tsplib(GEO_FILE)
+        off_diag = instance.distances[~np.eye(3, dtype=bool)]
+        assert np.all(off_diag > 0)
+        np.testing.assert_allclose(off_diag, np.round(off_diag))
+
+    def test_att_pseudo_euclidean(self):
+        instance = parse_tsplib(ATT_FILE)
+        expected = np.ceil(np.sqrt(100.0 / 10.0))
+        assert instance.distances[0, 1] == pytest.approx(expected)
+
+    def test_dimension_mismatch_raises(self):
+        broken = EUC_2D_FILE.replace("DIMENSION : 4", "DIMENSION : 5")
+        with pytest.raises(ValueError):
+            parse_tsplib(broken)
+
+    def test_unsupported_weight_type(self):
+        broken = EUC_2D_FILE.replace("EUC_2D", "XRAY1")
+        with pytest.raises(ValueError):
+            parse_tsplib(broken)
+
+
+class TestWriterRoundtrip:
+    def test_coordinate_roundtrip(self, tmp_path):
+        instance = generate_instance(8, rng=0, name="roundtrip8")
+        path = tmp_path / "roundtrip8.tsp"
+        write_tsplib_file(instance, path)
+        loaded = load_tsplib_file(path)
+        assert loaded.num_cities == 8
+        # EUC_2D rounds to integers, so compare with tolerance 0.5.
+        np.testing.assert_allclose(loaded.distances, instance.distances, atol=0.5 + 1e-9)
+
+    def test_matrix_roundtrip(self, tmp_path):
+        instance = generate_instance(6, rng=1, name="matrix6")
+        matrix_only = instance.scaled(1.0)
+        matrix_only.coordinates = None
+        path = tmp_path / "matrix6.tsp"
+        write_tsplib_file(matrix_only, path)
+        loaded = load_tsplib_file(path)
+        np.testing.assert_allclose(loaded.distances, matrix_only.distances, rtol=1e-6)
+
+
+class TestBundledSuite:
+    def test_eleven_instances_by_default(self):
+        suite = bundled_tsplib_suite()
+        assert len(suite) == len(BUNDLED_SUITE_SPEC) == 11
+
+    def test_sizes_match_spec_and_paper_range(self):
+        suite = bundled_tsplib_suite()
+        sizes = [instance.num_cities for instance in suite]
+        assert sizes == [size for _, size, _ in BUNDLED_SUITE_SPEC]
+        assert all(14 < size < 90 or size in (16, 17) for size in sizes)
+        assert min(sizes) > 14 or min(sizes) == 16
+
+    def test_max_cities_filter(self):
+        suite = bundled_tsplib_suite(max_cities=30)
+        assert all(instance.num_cities <= 30 for instance in suite)
+        assert len(suite) < 11
+
+    def test_deterministic(self):
+        a = bundled_tsplib_suite(max_cities=30, seed=5)
+        b = bundled_tsplib_suite(max_cities=30, seed=5)
+        for x, y in zip(a, b):
+            np.testing.assert_allclose(x.distances, y.distances)
+
+    def test_metadata_marks_suite(self):
+        suite = bundled_tsplib_suite(max_cities=20)
+        assert all(instance.metadata.get("suite") == "bundled-tsplib-like" for instance in suite)

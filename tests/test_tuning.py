@@ -1,0 +1,237 @@
+"""Unit tests for the tuner framework and the generic baselines (Random, TPE, BO, GP)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.tuning.base import ParameterBounds, ParameterTuner, TrialHistory, TrialResult
+from repro.tuning.bayesian_optimisation import BayesianOptimisationConfig, BayesianOptimisationTuner
+from repro.tuning.gaussian_process import GaussianProcessRegressor, RBFKernel
+from repro.tuning.grid_search import GridSearchTuner
+from repro.tuning.random_search import RandomSearchTuner
+from repro.tuning.tpe import TPEConfig, TPETuner
+
+
+def make_history(entries) -> TrialHistory:
+    """entries: list of (parameter, pf, best_fitness)."""
+    history = TrialHistory()
+    for parameter, pf, fitness in entries:
+        history.append(
+            TrialResult(parameter=parameter, probability_of_feasibility=pf, best_fitness=fitness)
+        )
+    return history
+
+
+class TestParameterBounds:
+    def test_clip(self):
+        bounds = ParameterBounds(low=1.0, high=10.0)
+        assert bounds.clip(0.5) == 1.0
+        assert bounds.clip(50.0) == 10.0
+        assert bounds.clip(5.0) == 5.0
+
+    def test_uniform_within_bounds(self):
+        bounds = ParameterBounds(low=2.0, high=3.0)
+        samples = bounds.uniform(np.random.default_rng(0), size=100)
+        assert np.all((samples >= 2.0) & (samples <= 3.0))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ParameterBounds(low=0.0, high=1.0)
+        with pytest.raises(ValueError):
+            ParameterBounds(low=2.0, high=1.0)
+
+
+class TestTrialHistory:
+    def test_best_fitness_ignores_infeasible(self):
+        history = make_history([(1.0, 0.0, None), (2.0, 0.5, 10.0), (3.0, 0.9, 7.0)])
+        assert history.best_fitness() == 7.0
+
+    def test_best_fitness_none_when_all_infeasible(self):
+        history = make_history([(1.0, 0.0, None), (2.0, 0.0, None)])
+        assert history.best_fitness() is None
+
+    def test_best_fitness_curve_monotone(self):
+        history = make_history([(1.0, 0.0, None), (2.0, 1.0, 9.0), (3.0, 1.0, 12.0), (4.0, 1.0, 5.0)])
+        curve = history.best_fitness_curve()
+        assert curve == [None, 9.0, 9.0, 5.0]
+
+    def test_scores_penalise_infeasible(self):
+        history = make_history([(1.0, 0.0, None), (2.0, 1.0, 10.0)])
+        scores = history.scores()
+        assert scores[0] > scores[1]
+
+    def test_scores_rank_almost_feasible_better(self):
+        history = make_history([(1.0, 0.0, None), (2.0, 0.9, None), (3.0, 1.0, 10.0)])
+        scores = history.scores()
+        assert scores[1] < scores[0]
+
+    def test_parameters_and_len(self):
+        history = make_history([(1.0, 0.5, 2.0), (4.0, 0.5, 2.0)])
+        np.testing.assert_allclose(history.parameters, [1.0, 4.0])
+        assert len(history) == 2
+
+
+class TestRandomAndGrid:
+    def test_random_search_within_bounds(self):
+        bounds = ParameterBounds(low=1.0, high=2.0)
+        tuner = RandomSearchTuner(bounds, rng=0)
+        for _ in range(50):
+            assert 1.0 <= tuner.suggest(TrialHistory()) <= 2.0
+
+    def test_random_search_reproducible(self):
+        bounds = ParameterBounds(low=1.0, high=2.0)
+        a = [RandomSearchTuner(bounds, rng=7).suggest(TrialHistory()) for _ in range(1)]
+        b = [RandomSearchTuner(bounds, rng=7).suggest(TrialHistory()) for _ in range(1)]
+        assert a == b
+
+    def test_grid_search_progresses_through_grid(self):
+        bounds = ParameterBounds(low=0.0 + 1e-9, high=10.0)
+        tuner = GridSearchTuner(bounds, num_points=5, rng=0)
+        history = TrialHistory()
+        suggestions = []
+        for _ in range(5):
+            suggestion = tuner.suggest(history)
+            suggestions.append(suggestion)
+            history.append(TrialResult(parameter=suggestion, probability_of_feasibility=1.0, best_fitness=1.0))
+        assert suggestions == sorted(suggestions)
+
+    def test_grid_search_validation(self):
+        with pytest.raises(ValueError):
+            GridSearchTuner(ParameterBounds(1.0, 2.0), num_points=1)
+
+
+class TestTPE:
+    def test_startup_phase_is_random_within_bounds(self):
+        bounds = ParameterBounds(low=5.0, high=6.0)
+        tuner = TPETuner(bounds, rng=0)
+        assert 5.0 <= tuner.suggest(TrialHistory()) <= 6.0
+
+    def test_exploits_good_region(self):
+        bounds = ParameterBounds(low=1.0, high=100.0)
+        tuner = TPETuner(bounds, config=TPEConfig(num_startup_trials=4, num_candidates=64), rng=0)
+        # Synthetic objective: best fitness is lowest near parameter 30.
+        history = make_history(
+            [(a, 1.0, abs(a - 30.0) + 1.0) for a in (5.0, 20.0, 28.0, 32.0, 50.0, 70.0, 90.0)]
+        )
+        suggestions = [tuner.suggest(history) for _ in range(20)]
+        assert np.median(np.abs(np.array(suggestions) - 30.0)) < 25.0
+
+    def test_handles_all_infeasible_history(self):
+        bounds = ParameterBounds(low=1.0, high=10.0)
+        tuner = TPETuner(bounds, config=TPEConfig(num_startup_trials=2), rng=0)
+        history = make_history([(1.0, 0.0, None), (2.0, 0.0, None), (3.0, 0.0, None)])
+        assert 1.0 <= tuner.suggest(history) <= 10.0
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            TPEConfig(num_startup_trials=0)
+        with pytest.raises(ValueError):
+            TPEConfig(gamma=1.5)
+        with pytest.raises(ValueError):
+            TPEConfig(num_candidates=0)
+        with pytest.raises(ValueError):
+            TPEConfig(bandwidth_factor=0.0)
+
+
+class TestGaussianProcess:
+    def test_interpolates_training_points(self):
+        x = np.array([0.0, 1.0, 2.0, 3.0])
+        y = np.sin(x)
+        gp = GaussianProcessRegressor(RBFKernel(length_scale=1.0), noise=1e-6).fit(x, y)
+        mean, _ = gp.predict(x)
+        np.testing.assert_allclose(mean, y, atol=1e-3)
+
+    def test_uncertainty_grows_away_from_data(self):
+        x = np.array([0.0, 1.0])
+        y = np.array([0.0, 1.0])
+        gp = GaussianProcessRegressor(RBFKernel(length_scale=0.5), noise=1e-6).fit(x, y)
+        _, std_near = gp.predict(np.array([0.5]))
+        _, std_far = gp.predict(np.array([5.0]))
+        assert std_far > std_near
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            GaussianProcessRegressor().predict(np.array([1.0]))
+
+    def test_fit_validation(self):
+        with pytest.raises(ValueError):
+            GaussianProcessRegressor().fit(np.array([1.0, 2.0]), np.array([1.0]))
+        with pytest.raises(ValueError):
+            GaussianProcessRegressor(noise=0.0)
+        with pytest.raises(ValueError):
+            RBFKernel(length_scale=0.0)
+
+    def test_length_scale_optimisation_improves_likelihood(self):
+        rng = np.random.default_rng(0)
+        x = np.linspace(0, 10, 30)
+        y = np.sin(x) + rng.normal(0, 0.05, x.size)
+        gp = GaussianProcessRegressor(RBFKernel(length_scale=5.0), noise=1e-3)
+        before = gp.log_marginal_likelihood(x, y)
+        gp.optimise_length_scale(x, y, candidates=np.array([0.5, 1.0, 2.0, 5.0]))
+        after = gp.log_marginal_likelihood(x, y)
+        assert after >= before - 1e-9
+
+
+class TestBayesianOptimisation:
+    def test_startup_then_model_based(self):
+        bounds = ParameterBounds(low=1.0, high=100.0)
+        tuner = BayesianOptimisationTuner(
+            bounds, config=BayesianOptimisationConfig(num_startup_trials=3), rng=0
+        )
+        short_history = make_history([(10.0, 1.0, 5.0)])
+        assert 1.0 <= tuner.suggest(short_history) <= 100.0
+
+    def test_concentrates_near_minimum(self):
+        bounds = ParameterBounds(low=1.0, high=100.0)
+        tuner = BayesianOptimisationTuner(
+            bounds, config=BayesianOptimisationConfig(num_startup_trials=3), rng=1
+        )
+        history = make_history(
+            [(a, 1.0, (a - 40.0) ** 2 / 100.0 + 1.0) for a in (5.0, 20.0, 35.0, 45.0, 60.0, 90.0)]
+        )
+        suggestion = tuner.suggest(history)
+        assert 10.0 <= suggestion <= 80.0
+
+    def test_handles_infeasible_trials(self):
+        bounds = ParameterBounds(low=1.0, high=10.0)
+        tuner = BayesianOptimisationTuner(
+            bounds, config=BayesianOptimisationConfig(num_startup_trials=2), rng=0
+        )
+        history = make_history([(1.0, 0.0, None), (5.0, 1.0, 3.0), (9.0, 1.0, 4.0)])
+        assert 1.0 <= tuner.suggest(history) <= 10.0
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            BayesianOptimisationConfig(num_startup_trials=0)
+        with pytest.raises(ValueError):
+            BayesianOptimisationConfig(num_candidates=4)
+        with pytest.raises(ValueError):
+            BayesianOptimisationConfig(exploration=-1.0)
+        with pytest.raises(ValueError):
+            BayesianOptimisationConfig(noise=0.0)
+
+
+class TestTunerInterface:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda bounds: RandomSearchTuner(bounds, rng=0),
+            lambda bounds: GridSearchTuner(bounds, rng=0),
+            lambda bounds: TPETuner(bounds, rng=0),
+            lambda bounds: BayesianOptimisationTuner(bounds, rng=0),
+        ],
+        ids=["random", "grid", "tpe", "bo"],
+    )
+    def test_twenty_trials_stay_in_bounds(self, factory):
+        bounds = ParameterBounds(low=2.0, high=20.0)
+        tuner: ParameterTuner = factory(bounds)
+        history = TrialHistory()
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            suggestion = tuner.suggest(history)
+            assert bounds.low <= suggestion <= bounds.high
+            fitness = float(abs(suggestion - 11.0) + rng.normal(0, 0.1) + 1.0)
+            trial = TrialResult(parameter=suggestion, probability_of_feasibility=1.0, best_fitness=fitness)
+            history.append(trial)
+            tuner.observe(trial, history)
