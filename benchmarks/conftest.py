@@ -19,6 +19,19 @@ from repro.experiments.profiles import ExperimentProfile, resolve_profile
 RESULTS_DIR = Path(__file__).parent / "results"
 
 
+def pytest_collection_modifyitems(items):
+    """Every benchmark is a figure/table reproduction or a timing run — all slow.
+
+    Marking them here (instead of per-module) keeps ``-m "not slow"`` as the
+    one-flag fast pre-commit invocation documented in ROADMAP.md.  The hook
+    receives the whole session's items, so restrict to this directory.
+    """
+    here = Path(__file__).parent
+    for item in items:
+        if here in Path(str(item.fspath)).parents:
+            item.add_marker(pytest.mark.slow)
+
+
 @pytest.fixture(scope="session")
 def profile() -> ExperimentProfile:
     """Experiment profile shared by every benchmark in the session."""

@@ -39,10 +39,14 @@ class SolverCallCache:
         self.misses = 0
 
     @staticmethod
-    def _key(problem: ConstrainedProblem, solver_name: str, parameter: float, num_reads: int) -> str:
+    def _key(problem: ConstrainedProblem, solver: QUBOSolver, parameter: float, num_reads: int) -> str:
         fingerprint = getattr(problem, "instance", problem)
         fingerprint = getattr(fingerprint, "fingerprint", lambda: problem.name)()
-        return f"{fingerprint}|{solver_name}|{parameter:.9g}|{num_reads}"
+        # The solver name alone is ambiguous: two instances of the same backend
+        # with different configs (e.g. SA with 100 vs 1000 sweeps) produce very
+        # different statistics, so the config fingerprint is part of the key.
+        solver_id = f"{solver.name}:{solver.config_fingerprint()}"
+        return f"{fingerprint}|{solver_id}|{parameter:.9g}|{num_reads}"
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -56,7 +60,7 @@ class SolverCallCache:
         rng: RngLike = None,
     ) -> CachedEvaluation:
         """Evaluate a parameter through the cache."""
-        key = self._key(problem, solver.name, parameter, num_reads)
+        key = self._key(problem, solver, parameter, num_reads)
         if key in self._entries:
             self.hits += 1
             return self._entries[key]

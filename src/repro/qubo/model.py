@@ -15,11 +15,107 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Mapping, Tuple
+from typing import Dict, Iterable, Mapping, Optional, Tuple
 
 import numpy as np
 
+try:  # pragma: no cover - scipy ships with the toolchain but stay importable without it
+    from scipy import sparse as _sparse
+except ImportError:  # pragma: no cover
+    _sparse = None
+
 from repro.utils.validation import check_square_matrix
+
+#: A model denser than this keeps the dense float64 backend.  Deliberately
+#: strict: at borderline densities (~0.2, e.g. TSP QUBOs) the CSR row gathers
+#: cost more than dense BLAS saves, and the sparse backend only starts winning
+#: clearly below ~10% density on large instances.
+SPARSE_DENSITY_THRESHOLD = 0.10
+#: Below this size the dense backend always wins (sparse overhead dominates).
+SPARSE_MIN_VARIABLES = 512
+
+
+class DenseOperator:
+    """Dense float64 view of ``Q`` exposing the kernels the solvers need.
+
+    The solver engine never touches ``Q`` directly; it goes through this small
+    interface (``right_multiply`` / ``rows`` / ``block_product``) so that the
+    same annealing code runs unchanged on the CSR backend.
+    """
+
+    kind = "dense"
+
+    def __init__(self, Q: np.ndarray) -> None:
+        self._Q = np.ascontiguousarray(Q, dtype=np.float64)
+        self.diag = np.ascontiguousarray(np.diag(self._Q))
+
+    @property
+    def num_variables(self) -> int:
+        return int(self._Q.shape[0])
+
+    def right_multiply(self, X: np.ndarray) -> np.ndarray:
+        """``X @ Q`` for a batch of states — initialises local fields."""
+        return np.asarray(X @ self._Q, dtype=np.float64)
+
+    def rows(self, indices: np.ndarray) -> np.ndarray:
+        """Dense gather of the requested rows, shape ``(len(indices), n)``."""
+        return self._Q[indices]
+
+    def row(self, index: int) -> np.ndarray:
+        """Single dense row — a view for the dense backend (no copy)."""
+        return self._Q[index]
+
+    def block_product(self, dX_block: np.ndarray, block: np.ndarray) -> np.ndarray:
+        """``dX_block @ Q[block, :]`` — the local-field update of a block flip."""
+        return np.asarray(dX_block @ self._Q[block], dtype=np.float64)
+
+
+class SparseOperator:
+    """CSR float32 backend for sparse models (e.g. MVC QUBOs).
+
+    Coefficients are stored in single precision: the annealers only use them to
+    steer the search, and every returned energy is re-evaluated against the
+    exact dense float64 model, so the float32 rounding never leaks into
+    reported results.  Local fields accumulate in float64.
+    """
+
+    kind = "sparse"
+
+    def __init__(self, Q: np.ndarray) -> None:
+        if _sparse is None:  # pragma: no cover - defensive
+            raise RuntimeError("scipy is required for the sparse QUBO backend")
+        self._Q = _sparse.csr_array(np.asarray(Q, dtype=np.float32))
+        self.diag = np.asarray(np.diag(Q), dtype=np.float64)
+        # Raw CSR triplet: row gathers go through these directly because
+        # scipy's fancy row indexing spends ~100x the gather cost on index
+        # validation and matrix construction, which dominates per-step use.
+        self._indptr = self._Q.indptr
+        self._indices = self._Q.indices
+        self._data = self._Q.data.astype(np.float64)
+
+    @property
+    def num_variables(self) -> int:
+        return int(self._Q.shape[0])
+
+    def right_multiply(self, X: np.ndarray) -> np.ndarray:
+        return np.asarray(X @ self._Q, dtype=np.float64)
+
+    def rows(self, indices: np.ndarray) -> np.ndarray:
+        indices = np.asarray(indices)
+        out = np.zeros((indices.size, self.num_variables), dtype=np.float64)
+        for k, i in enumerate(indices):
+            start, end = self._indptr[i], self._indptr[i + 1]
+            out[k, self._indices[start:end]] = self._data[start:end]
+        return out
+
+    def row(self, index: int) -> np.ndarray:
+        out = np.zeros(self.num_variables, dtype=np.float64)
+        start, end = self._indptr[index], self._indptr[index + 1]
+        out[self._indices[start:end]] = self._data[start:end]
+        return out
+
+    def block_product(self, dX_block: np.ndarray, block: np.ndarray) -> np.ndarray:
+        return dX_block @ self.rows(block)
 
 
 @dataclass(frozen=True)
@@ -60,6 +156,9 @@ class QUBOModel:
         self._Q = (Q + Q.T) / 2.0
         self._offset = float(offset)
         self.name = name
+        self._operators: Dict[str, object] = {}
+        self._coefficient_stats: Optional[Tuple[float, float]] = None
+        self._density: Optional[float] = None
 
     # ------------------------------------------------------------------ basic
     @property
@@ -190,6 +289,60 @@ class QUBOModel:
         np.fill_diagonal(Q, diag)
         offset = ising.offset - h.sum() + J.sum()
         return cls(Q, offset=float(offset), name=name)
+
+    # ------------------------------------------------------------- operators
+    def density(self) -> float:
+        """Fraction of non-zero coefficients in the symmetrised matrix.
+
+        Cached: solvers consult it on every ``sample`` call via
+        :meth:`operator`, and the ``O(n^2)`` scan would otherwise repeat.
+        """
+        if self._density is None:
+            n = self.num_variables
+            if n == 0:
+                self._density = 0.0
+            else:
+                self._density = float(np.count_nonzero(self._Q)) / float(n * n)
+        return self._density
+
+    def operator(self, backend: str | None = None):
+        """Return the solver-facing coefficient backend for this model.
+
+        ``backend`` may be ``"dense"``, ``"sparse"`` or ``None`` for automatic
+        selection: models with at least :data:`SPARSE_MIN_VARIABLES` variables
+        and density below :data:`SPARSE_DENSITY_THRESHOLD` get the CSR float32
+        backend, everything else the dense float64 one.  Operators are cached
+        on the model, so repeated solver calls reuse the same arrays.
+        """
+        if backend is None:
+            use_sparse = (
+                _sparse is not None
+                and self.num_variables >= SPARSE_MIN_VARIABLES
+                and self.density() < SPARSE_DENSITY_THRESHOLD
+            )
+            backend = "sparse" if use_sparse else "dense"
+        if backend not in ("dense", "sparse"):
+            raise ValueError(f"unknown backend {backend!r}")
+        if backend not in self._operators:
+            if backend == "sparse":
+                self._operators[backend] = SparseOperator(self._Q)
+            else:
+                self._operators[backend] = DenseOperator(self._Q)
+        return self._operators[backend]
+
+    def coefficient_stats(self) -> Tuple[float, float]:
+        """Cached ``(max_abs_row_sum, min_nonzero_abs)`` of the coefficients.
+
+        These drive the automatic temperature range; caching them means
+        repeated solver calls on the same model skip the ``O(n^2)`` scan.
+        """
+        if self._coefficient_stats is None:
+            abs_Q = np.abs(self._Q)
+            max_row = float(abs_Q.sum(axis=1).max(initial=1.0))
+            nonzero = abs_Q[abs_Q > 0]
+            min_nonzero = float(nonzero.min()) if nonzero.size else 1.0
+            self._coefficient_stats = (max_row, min_nonzero)
+        return self._coefficient_stats
 
     # ------------------------------------------------------------------ misc
     def max_abs_coefficient(self) -> float:

@@ -62,6 +62,10 @@ class SampleSet:
         num_occurrences = np.asarray(num_occurrences, dtype=np.int64)
         if num_occurrences.shape != (assignments.shape[0],):
             raise ValueError("num_occurrences must have one entry per sample")
+        if num_occurrences.size and num_occurrences.min() < 1:
+            # Zero or negative multiplicities poison every occurrence-weighted
+            # statistic (division by zero / NaN means), so reject them here.
+            raise ValueError("num_occurrences entries must all be >= 1")
         order = np.argsort(energies, kind="stable")
         self._assignments = assignments[order]
         self._energies = energies[order]
@@ -155,16 +159,29 @@ class SampleSet:
 
     @classmethod
     def concatenate(cls, sample_sets: Sequence["SampleSet"]) -> "SampleSet":
-        """Merge several batches (from repeated solver calls) into one."""
+        """Merge several batches (from repeated solver calls) into one.
+
+        Metadata is merged rather than dropped: wall-clock times accumulate
+        (the merged batch cost the sum of its parts) while any other key keeps
+        the first set's value.
+        """
         sets = [s for s in sample_sets if s.num_samples > 0]
         if not sets:
             raise ValueError("nothing to concatenate")
         n = sets[0].num_variables
         if any(s.num_variables != n for s in sets):
             raise ValueError("sample sets must share the same number of variables")
+        info: dict = {}
+        for s in sets:
+            for key, value in s.info.items():
+                if key == "wall_time_s":
+                    info[key] = info.get(key, 0.0) + float(value)
+                elif key not in info:
+                    info[key] = value
         return cls(
             np.concatenate([s.assignments for s in sets], axis=0),
             np.concatenate([s.energies for s in sets], axis=0),
             np.concatenate([s.num_occurrences for s in sets], axis=0),
             solver_name=sets[0].solver_name,
+            info=info,
         )

@@ -2,6 +2,7 @@
 
 from repro.solvers.base import QUBOSolver
 from repro.solvers.digital_annealer import DigitalAnnealerConfig, DigitalAnnealerSolver
+from repro.solvers.engine import AnnealingState, default_block_size, metropolis_accept
 from repro.solvers.qbsolv import QbsolvConfig, QbsolvSolver
 from repro.solvers.quantum_annealer import QuantumAnnealerConfig, QuantumAnnealerSolver
 from repro.solvers.random_solver import RandomSolver
@@ -16,6 +17,9 @@ from repro.solvers.tabu import TabuSearchConfig, TabuSearchSolver
 
 __all__ = [
     "QUBOSolver",
+    "AnnealingState",
+    "default_block_size",
+    "metropolis_accept",
     "SimulatedAnnealingSolver",
     "SimulatedAnnealingConfig",
     "DigitalAnnealerSolver",

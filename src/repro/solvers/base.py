@@ -10,6 +10,7 @@ hybrid (paper Section 5.3) without touching the QROSS code.
 from __future__ import annotations
 
 import abc
+import hashlib
 import time
 from typing import Optional
 
@@ -34,6 +35,20 @@ class QUBOSolver(abc.ABC):
         rng: RngLike = None,
     ) -> SampleSet:
         """Draw ``num_reads`` candidate assignments for ``model``."""
+
+    def config_fingerprint(self) -> str:
+        """Stable short hash identifying this solver's configuration.
+
+        Two solver instances of the same class with different configurations
+        must fingerprint differently — cache layers key on
+        ``(name, config_fingerprint)`` so their statistics never collide.  The
+        default hashes the ``repr`` of the solver's ``config`` attribute
+        (dataclass reprs are deterministic and cover nested schedule/config
+        dataclasses); solvers with non-dataclass state should override this.
+        """
+        config = getattr(self, "config", None)
+        payload = f"{type(self).__qualname__}:{config!r}"
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:12]
 
     # ------------------------------------------------------------ conveniences
     def sample_best(self, model: QUBOModel, num_reads: int = 1, rng: RngLike = None) -> np.ndarray:

@@ -27,6 +27,7 @@ import numpy as np
 from repro.qubo.model import QUBOModel
 from repro.qubo.sampleset import SampleSet
 from repro.solvers.base import QUBOSolver, validate_reads
+from repro.solvers.engine import AnnealingState, metropolis_accept
 from repro.solvers.schedules import TemperatureSchedule, resolve_schedule
 from repro.utils.rng import RngLike, ensure_rng
 
@@ -84,28 +85,18 @@ class DigitalAnnealerSolver(QUBOSolver):
         schedule = resolve_schedule(model, self.config.schedule)
         temperatures = schedule(num_steps)
 
-        Q = np.asarray(model.Q)
-        diag = np.diag(Q).copy()
         offset_step = self.config.offset_increase_rate * max(model.max_abs_coefficient(), 1e-12)
 
-        X = self._random_states(num_reads, n, rng).astype(np.float64)
-        H = X @ Q
+        state = AnnealingState(model, num_reads, rng=rng)
         offsets = np.zeros(num_reads)
-        best_X = X.copy()
-        best_E = model.energies(X)
-        current_E = best_E.copy()
         replica_rows = np.arange(num_reads)
 
         for step in range(num_steps):
             temperature = temperatures[step]
             # Energy change of flipping each variable of each replica.
-            delta = (1.0 - 2.0 * X) * (diag[None, :] + 2.0 * H - 2.0 * diag[None, :] * X)
+            delta = state.flip_deltas()
             effective = delta - offsets[:, None]
-            accept = effective <= 0.0
-            if temperature > 0:
-                accept |= rng.random((num_reads, n)) < np.exp(
-                    -np.clip(effective, 0.0, None) / temperature
-                )
+            accept = metropolis_accept(effective, temperature, rng.random((num_reads, n)))
 
             any_accepted = accept.any(axis=1)
             # Replicas with no accepted candidate raise their dynamic offset.
@@ -118,19 +109,12 @@ class DigitalAnnealerSolver(QUBOSolver):
             chosen = scores.argmax(axis=1)
             rows = replica_rows[any_accepted]
             cols = chosen[any_accepted]
-            dx = 1.0 - 2.0 * X[rows, cols]
-            current_E[rows] += delta[rows, cols]
-            X[rows, cols] += dx
-            H[rows] += dx[:, None] * Q[cols]
-
-            improved = current_E < best_E
-            if improved.any():
-                best_E[improved] = current_E[improved]
-                best_X[improved] = X[improved]
+            state.apply_single_flips(rows, cols, delta[rows, cols])
+            state.update_best()
 
         return self._finalize(
             model,
-            best_X,
+            state.best_X,
             started_at,
             extra_info={"num_steps": num_steps},
         )

@@ -1,0 +1,198 @@
+"""Shared batched single-flip annealing engine.
+
+Every local-search solver in this package (simulated annealing, the
+Digital-Annealer-style parallel-trial annealer, tabu search and, through tabu,
+qbsolv) explores QUBO energy landscapes with the same primitive: flip one
+binary variable and pay the energy change
+
+.. math:: \\Delta E_i = (1 - 2 x_i)\\,(Q_{ii} + 2 H_i - 2 Q_{ii} x_i),
+          \\qquad H_i = \\sum_j Q_{ij} x_j,
+
+where ``Q`` is the symmetrised coefficient matrix and ``H`` the *local field*.
+This module owns that kernel once, batched over ``num_reads`` independent
+replicas, so the solvers only express their acceptance policies.
+
+Kernel contract
+---------------
+:class:`AnnealingState` maintains, for a batch of ``R`` replicas over ``n``
+variables:
+
+* ``X`` — the binary states, float matrix of shape ``(R, n)``;
+* ``H`` — the local fields ``X @ Q``, kept incrementally consistent with ``X``
+  after every flip (``H_i`` *includes* the diagonal term ``Q_ii x_i``);
+* ``current_energies`` — QUBO energies of ``X`` (offset included), updated
+  incrementally from the accepted deltas;
+* ``best_X`` / ``best_energies`` — the lowest-energy state each replica has
+  visited at the instants :meth:`update_best` was called.
+
+State transitions go through exactly two mutators:
+
+* :meth:`apply_single_flips` — one flip per listed replica, *exact*: the
+  supplied deltas are the true energy changes, so ``current_energies`` stays
+  exact up to float accumulation.
+* :meth:`apply_block_flips` — simultaneous flips of a variable block with a
+  per-replica accept mask.  Deltas of variables flipped together in one block
+  interact, so after a block application ``current_energies`` is recomputed
+  from the (always exact) local fields via ``E = sum_i x_i H_i + offset``
+  rather than summed from the proposed deltas.
+
+Coefficient access is routed through the backend returned by
+:meth:`repro.qubo.model.QUBOModel.operator` — dense float64 or CSR float32
+chosen automatically by density — so sparse instances (e.g. MVC) avoid dense
+``n × n`` row traffic without any solver-side changes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.qubo.model import QUBOModel
+from repro.utils.rng import ensure_rng
+
+
+def metropolis_accept(
+    delta: np.ndarray,
+    temperature: float,
+    uniforms: np.ndarray,
+) -> np.ndarray:
+    """Metropolis acceptance mask for proposed energy changes ``delta``.
+
+    Downhill (``delta <= 0``) moves are always accepted; uphill moves are
+    accepted when ``uniforms < exp(-delta / temperature)``.  ``uniforms`` must
+    have the same shape as ``delta``.
+    """
+    accept = delta <= 0.0
+    if temperature > 0:
+        accept = accept | (uniforms < np.exp(-np.clip(delta, 0.0, None) / temperature))
+    return accept
+
+
+def default_block_size(num_variables: int) -> int:
+    """Sweep block size used by blocked simulated annealing.
+
+    Chosen so a sweep needs ``O(n / block)`` Python iterations while keeping
+    blocks small relative to ``n`` (simultaneous flips within a block
+    approximate sequential Metropolis updates; see :class:`AnnealingState`).
+    """
+    return int(np.clip(num_variables // 8, 1, 64))
+
+
+class AnnealingState:
+    """Batched single-flip search state shared by the annealing solvers."""
+
+    def __init__(
+        self,
+        model: QUBOModel,
+        num_reads: int,
+        rng: Optional[np.random.Generator] = None,
+        initial_states: Optional[np.ndarray] = None,
+        operator=None,
+    ) -> None:
+        self.model = model
+        self.op = operator if operator is not None else model.operator()
+        n = model.num_variables
+        if initial_states is not None:
+            X = np.array(initial_states, dtype=np.float64)
+            if X.ndim == 1:
+                X = X[None, :]
+            if X.shape != (num_reads, n):
+                raise ValueError(
+                    f"initial_states must have shape ({num_reads}, {n}), got {X.shape}"
+                )
+        else:
+            rng = ensure_rng(rng)
+            X = rng.integers(0, 2, size=(num_reads, n), dtype=np.int8).astype(np.float64)
+        self.X = X
+        self.H = self.op.right_multiply(X)
+        self.diag = np.asarray(self.op.diag, dtype=np.float64)
+        self.offset = model.offset
+        self.current_energies = self.energies_from_fields()
+        self.best_X = X.copy()
+        self.best_energies = self.current_energies.copy()
+
+    # ----------------------------------------------------------------- shapes
+    @property
+    def num_reads(self) -> int:
+        return int(self.X.shape[0])
+
+    @property
+    def num_variables(self) -> int:
+        return int(self.X.shape[1])
+
+    # ------------------------------------------------------------------ reads
+    def energies_from_fields(self) -> np.ndarray:
+        """Exact batch energies ``sum_i x_i H_i + offset`` in ``O(R n)``."""
+        return (self.X * self.H).sum(axis=1) + self.offset
+
+    def flip_deltas(self, cols: Optional[np.ndarray] = None) -> np.ndarray:
+        """Single-flip energy changes, all variables or just ``cols``.
+
+        Shape ``(R, n)`` without ``cols``, ``(R, len(cols))`` with.
+        """
+        if cols is None:
+            x = self.X
+            h = self.H
+            d = self.diag[None, :]
+        else:
+            x = self.X[:, cols]
+            h = self.H[:, cols]
+            d = self.diag[cols][None, :]
+        return (1.0 - 2.0 * x) * (d + 2.0 * h - 2.0 * d * x)
+
+    # --------------------------------------------------------------- mutators
+    def apply_single_flips(
+        self,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        deltas: np.ndarray,
+    ) -> None:
+        """Flip variable ``cols[k]`` of replica ``rows[k]`` for every ``k``.
+
+        ``deltas`` must be the matching single-flip energy changes (as returned
+        by :meth:`flip_deltas`); ``current_energies`` is advanced exactly.
+        """
+        dx = 1.0 - 2.0 * self.X[rows, cols]
+        self.X[rows, cols] += dx
+        self.current_energies[rows] += deltas
+        self.H[rows] += dx[:, None] * self.op.rows(cols)
+
+    def apply_block_flips(self, block: np.ndarray, accept: np.ndarray) -> None:
+        """Apply the accepted flips of a variable block simultaneously.
+
+        ``block`` holds variable indices, ``accept`` a boolean mask of shape
+        ``(R, len(block))``.  All accepted flips are applied at once; the local
+        fields are updated exactly for the new states, but because interactions
+        *within* the block are not re-evaluated between flips this is an
+        approximation of sequential Metropolis — callers should refresh
+        ``current_energies`` via :meth:`refresh_energies` before reading them.
+        """
+        if not accept.any():
+            return
+        active = accept.any(axis=0)
+        cols = block[active]
+        dX = np.where(accept[:, active], 1.0 - 2.0 * self.X[:, cols], 0.0)
+        self.X[:, cols] += dX
+        self.H += self.op.block_product(dX, cols)
+
+    def refresh_energies(self) -> None:
+        """Recompute ``current_energies`` from the local fields."""
+        self.current_energies = self.energies_from_fields()
+
+    def reset_replicas(self, mask: np.ndarray, new_states: np.ndarray) -> None:
+        """Replace the states of the replicas selected by boolean ``mask``."""
+        self.X[mask] = new_states
+        self.H[mask] = self.op.right_multiply(new_states)
+        self.current_energies[mask] = (new_states * self.H[mask]).sum(axis=1) + self.offset
+
+    def update_best(self) -> np.ndarray:
+        """Fold the current states into the per-replica best tracking.
+
+        Returns the boolean mask of replicas that strictly improved.
+        """
+        improved = self.current_energies < self.best_energies
+        if improved.any():
+            self.best_energies[improved] = self.current_energies[improved]
+            self.best_X[improved] = self.X[improved]
+        return improved

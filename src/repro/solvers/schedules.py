@@ -78,12 +78,11 @@ def default_temperature_range(model: QUBOModel) -> tuple[float, float]:
     The initial temperature is set so that a typical uphill single-flip move is
     accepted with high probability, and the final temperature so that only
     moves near degeneracy are accepted — the same heuristic used by common
-    simulated-annealing samplers.
+    simulated-annealing samplers.  The coefficient scan is cached on the model
+    (:meth:`QUBOModel.coefficient_stats`), so solvers that resolve a schedule
+    on every ``sample`` call pay the ``O(n^2)`` cost only once per model.
     """
-    Q = np.asarray(model.Q)
-    abs_rows = np.abs(Q).sum(axis=1)
-    max_delta = float(abs_rows.max(initial=1.0))
-    min_nonzero = float(np.abs(Q[Q != 0]).min()) if np.any(Q != 0) else 1.0
+    max_delta, min_nonzero = model.coefficient_stats()
     t_initial = max(max_delta, 1e-6)
     t_final = max(min_nonzero / 10.0, 1e-9)
     if t_final > t_initial:

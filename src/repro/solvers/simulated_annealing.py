@@ -1,26 +1,35 @@
-"""Simulated annealing on CPU, vectorised over a batch of replicas.
+"""Simulated annealing on CPU, vectorised over replicas *and* variable blocks.
 
 This is the "Simulated Annealing on CPU" solver used throughout the paper
 (lower rows of Fig. 1, QAPLIB experiments).  Each read is an independent
 replica; one *sweep* visits every variable once in a shuffled order and applies
-Metropolis single-flip updates at the sweep's temperature.  All replicas are
-updated together with numpy, which keeps pure-Python overhead per sweep small.
+Metropolis single-flip updates at the sweep's temperature.
+
+The sweep is *blocked*: the shuffled variable order is chunked into blocks and
+each block's flips are proposed against the state at the start of the block,
+then applied together through the shared
+:class:`~repro.solvers.engine.AnnealingState`.  This cuts the pure-Python work
+per sweep from ``O(n)`` iterations to ``O(n / block)`` while the heavy
+local-field updates run as batched BLAS/CSR products.  Within-block flips are
+an approximation of sequential Metropolis (interacting variables flipped in
+the same block do not see each other's move), which blocked Gibbs/Metropolis
+samplers routinely accept; the solver additionally tracks the best state seen
+at every sweep boundary, so the returned assignment is never worse than the
+final state of the walk.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Optional
-
-import numpy as np
 
 from repro.qubo.model import QUBOModel
 from repro.qubo.sampleset import SampleSet
 from repro.solvers.base import QUBOSolver, validate_reads
+from repro.solvers.engine import AnnealingState, default_block_size, metropolis_accept
 from repro.solvers.schedules import TemperatureSchedule, resolve_schedule
 from repro.utils.rng import RngLike, ensure_rng
-
-import time
 
 
 @dataclass(frozen=True)
@@ -34,18 +43,25 @@ class SimulatedAnnealingConfig:
     schedule:
         Temperature schedule; ``None`` selects a geometric schedule whose range
         is derived from the QUBO coefficients.
+    block_size:
+        Number of variables proposed together within a sweep.  ``None`` picks
+        :func:`~repro.solvers.engine.default_block_size`; ``1`` recovers the
+        exact sequential single-flip sweep.
     """
 
     num_sweeps: int = 100
     schedule: Optional[TemperatureSchedule] = None
+    block_size: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.num_sweeps <= 0:
             raise ValueError("num_sweeps must be positive")
+        if self.block_size is not None and self.block_size <= 0:
+            raise ValueError("block_size must be positive")
 
 
 class SimulatedAnnealingSolver(QUBOSolver):
-    """Batched single-flip Metropolis simulated annealing."""
+    """Batched blocked single-flip Metropolis simulated annealing."""
 
     name = "simulated-annealing"
 
@@ -59,33 +75,25 @@ class SimulatedAnnealingSolver(QUBOSolver):
         n = model.num_variables
         schedule = resolve_schedule(model, self.config.schedule)
         temperatures = schedule(self.config.num_sweeps)
+        block = self.config.block_size or default_block_size(n)
 
-        Q = np.asarray(model.Q)
-        diag = np.diag(Q).copy()
-        X = self._random_states(num_reads, n, rng).astype(np.float64)
-        # Local field H[b, i] = sum_j Q[i, j] * X[b, j]; maintained incrementally.
-        H = X @ Q
-
+        state = AnnealingState(model, num_reads, rng=rng)
         for temperature in temperatures:
             order = rng.permutation(n)
             uniforms = rng.random((num_reads, n))
-            for step, i in enumerate(order):
-                x_i = X[:, i]
-                delta = (1.0 - 2.0 * x_i) * (diag[i] + 2.0 * H[:, i] - 2.0 * diag[i] * x_i)
-                accept = delta <= 0.0
-                if temperature > 0:
-                    accept |= uniforms[:, step] < np.exp(
-                        -np.clip(delta, 0.0, None) / temperature
-                    )
-                if not accept.any():
-                    continue
-                dx = np.where(accept, 1.0 - 2.0 * x_i, 0.0)
-                X[:, i] = x_i + dx
-                H += dx[:, None] * Q[i][None, :]
+            for start in range(0, n, block):
+                cols = order[start : start + block]
+                delta = state.flip_deltas(cols)
+                accept = metropolis_accept(
+                    delta, temperature, uniforms[:, start : start + cols.size]
+                )
+                state.apply_block_flips(cols, accept)
+            state.refresh_energies()
+            state.update_best()
 
         return self._finalize(
             model,
-            X,
+            state.best_X,
             started_at,
-            extra_info={"num_sweeps": self.config.num_sweeps},
+            extra_info={"num_sweeps": self.config.num_sweeps, "block_size": block},
         )

@@ -153,6 +153,33 @@ class TestSolverCallCache:
         cache.evaluate(tsp_problem, solver, 2.0, num_reads=4, rng=0)
         assert len(cache) == 2
 
+    def test_same_backend_different_configs_do_not_collide(self, tsp_problem):
+        # Regression: the key used to contain only `solver.name`, so two SA
+        # solvers with different sweep budgets shared one entry and the second
+        # silently returned the first one's statistics.
+        from repro.solvers.simulated_annealing import (
+            SimulatedAnnealingConfig,
+            SimulatedAnnealingSolver,
+        )
+
+        cache = SolverCallCache()
+        short = SimulatedAnnealingSolver(SimulatedAnnealingConfig(num_sweeps=5))
+        long = SimulatedAnnealingSolver(SimulatedAnnealingConfig(num_sweeps=50))
+        parameter = tsp_problem.relaxation_scale()
+        cache.evaluate(tsp_problem, short, parameter, num_reads=4, rng=0)
+        cache.evaluate(tsp_problem, long, parameter, num_reads=4, rng=0)
+        assert len(cache) == 2
+        assert cache.misses == 2 and cache.hits == 0
+        # Identically-configured solver instances still share an entry.
+        cache.evaluate(
+            tsp_problem,
+            SimulatedAnnealingSolver(SimulatedAnnealingConfig(num_sweeps=5)),
+            parameter,
+            num_reads=4,
+            rng=1,
+        )
+        assert cache.hits == 1 and len(cache) == 2
+
     def test_persistence_roundtrip(self, tsp_problem, tmp_path):
         cache = SolverCallCache()
         solver = RandomSolver()

@@ -9,6 +9,8 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+pytestmark = pytest.mark.slow  # end-to-end pipeline runs, seconds per test
+
 from repro.core.strategies.composed import ComposedStrategyConfig
 from repro.core.tuner import QROSSTuner
 from repro.experiments.cache import SolverCallCache

@@ -31,6 +31,14 @@ class TestConstruction:
         with pytest.raises(ValueError):
             SampleSet(np.zeros((2, 2)), np.zeros(2), num_occurrences=np.ones(3))
 
+    def test_non_positive_occurrences_rejected(self):
+        # Regression: zero / negative multiplicities made the occurrence-
+        # weighted statistics divide by zero or return NaN.
+        with pytest.raises(ValueError, match=">= 1"):
+            SampleSet(np.zeros((2, 2)), np.zeros(2), num_occurrences=np.array([1, 0]))
+        with pytest.raises(ValueError, match=">= 1"):
+            SampleSet(np.zeros((2, 2)), np.zeros(2), num_occurrences=np.array([-1, 2]))
+
     def test_len_and_iteration(self, sample_set):
         assert len(sample_set) == 4
         records = list(sample_set)
@@ -98,3 +106,21 @@ class TestTools:
     def test_concatenate_empty_list(self):
         with pytest.raises(ValueError):
             SampleSet.concatenate([])
+
+    def test_concatenate_merges_info(self):
+        # Regression: concatenate used to drop `info` entirely, losing the
+        # wall-time / sweep metadata that throughput reporting reads.
+        first = SampleSet(
+            np.zeros((1, 2), dtype=np.int8),
+            np.zeros(1),
+            info={"wall_time_s": 0.25, "num_sweeps": 100, "solver": "sa"},
+        )
+        second = SampleSet(
+            np.ones((1, 2), dtype=np.int8),
+            np.ones(1),
+            info={"wall_time_s": 0.5, "num_sweeps": 200},
+        )
+        merged = SampleSet.concatenate([first, second])
+        assert merged.info["wall_time_s"] == pytest.approx(0.75)
+        assert merged.info["num_sweeps"] == 100  # first set's scalar wins
+        assert merged.info["solver"] == "sa"

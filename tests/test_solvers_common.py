@@ -76,6 +76,7 @@ class TestSolverInterface:
         assert samples.info["wall_time_s"] >= 0.0
 
 
+@pytest.mark.slow
 class TestOptimisationQuality:
     """Every non-trivial solver should beat random sampling on a simple QUBO."""
 
