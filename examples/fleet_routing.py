@@ -23,6 +23,7 @@ from repro.experiments.profiles import resolve_profile
 from repro.experiments.runner import default_bounds, tune_instance
 from repro.problems.tsp.generator import SyntheticTSPConfig, generate_instance
 from repro.problems.tsp.qubo import TSPProblem
+from repro.service import SolveService
 from repro.tuning.tpe import TPETuner
 from repro.utils.rng import ensure_rng
 
@@ -49,32 +50,35 @@ def main() -> None:
     dataset = collect_surrogate_dataset(history_problems, solver, profile)
     surrogate = train_surrogate(dataset, profile)
 
-    # New mornings: route with a small budget of solver calls.
+    # New mornings: route with a small budget of solver calls, all executed by
+    # one dispatch service (the seam a real fleet backend would scale out).
     budget = min(5, profile.num_trials)
     print(f"\nrouting {3} new mornings with a budget of {budget} solver calls each\n")
     header = f"{'morning':>12} {'method':>7} {'first feasible':>15} {'best tour':>10} {'gap':>7}"
     print(header)
     print("-" * len(header))
-    for day in range(100, 103):
-        problem = morning_instance(day, num_stops, rng)
-        reference = problem.reference_fitness()
-        bounds = default_bounds(problem)
-        tuners = {
-            "QROSS": QROSSTuner(
-                surrogate, problem, bounds,
-                config=ComposedStrategyConfig(batch_size=profile.num_reads), rng=day,
-            ),
-            "TPE": TPETuner(bounds, rng=day),
-        }
-        for name, tuner in tuners.items():
-            run = tune_instance(
-                problem, solver, tuner, num_trials=budget, num_reads=profile.num_reads, rng=day
-            )
-            best = run.best_fitness()
-            first = next((i + 1 for i, t in enumerate(run) if t.is_feasible), None)
-            gap = (best - reference) / reference if best is not None else float("nan")
-            best_text = f"{best:.1f}" if best is not None else "none"
-            print(f"{problem.name:>12} {name:>7} {str(first):>15} {best_text:>10} {gap:>7.1%}")
+    with SolveService(max_workers=2) as service:
+        for day in range(100, 103):
+            problem = morning_instance(day, num_stops, rng)
+            reference = problem.reference_fitness()
+            bounds = default_bounds(problem)
+            tuners = {
+                "QROSS": QROSSTuner(
+                    surrogate, problem, bounds,
+                    config=ComposedStrategyConfig(batch_size=profile.num_reads), rng=day,
+                ),
+                "TPE": TPETuner(bounds, rng=day),
+            }
+            for name, tuner in tuners.items():
+                run = tune_instance(
+                    problem, solver, tuner, num_trials=budget, num_reads=profile.num_reads,
+                    rng=day, service=service,
+                )
+                best = run.best_fitness()
+                first = next((i + 1 for i, t in enumerate(run) if t.is_feasible), None)
+                gap = (best - reference) / reference if best is not None else float("nan")
+                best_text = f"{best:.1f}" if best is not None else "none"
+                print(f"{problem.name:>12} {name:>7} {str(first):>15} {best_text:>10} {gap:>7.1%}")
 
 
 if __name__ == "__main__":

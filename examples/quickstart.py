@@ -1,5 +1,6 @@
 """Quickstart: tune the TSP relaxation parameter with QROSS in five steps.
 
+0. solve one QUBO with the one-call ``repro.solve`` service API,
 1. generate a collection of "historical" TSP instances,
 2. collect solver data on them (the expensive, offline part),
 3. train the solver surrogate,
@@ -13,6 +14,7 @@ from __future__ import annotations
 
 import numpy as np
 
+import repro
 from repro.core.strategies.composed import ComposedStrategyConfig
 from repro.core.tuner import QROSSTuner
 from repro.experiments.datasets import (
@@ -23,6 +25,7 @@ from repro.experiments.datasets import (
 )
 from repro.experiments.profiles import resolve_profile
 from repro.experiments.runner import default_bounds, tune_instance
+from repro.service import SolveService
 from repro.tuning.random_search import RandomSearchTuner
 
 
@@ -34,6 +37,21 @@ def main() -> None:
     datasets = build_problems(profile)
     new_problem = datasets.test_problems[0]
     print(f"training instances: {len(datasets.train_problems)}, new instance: {new_problem.name}")
+
+    # 0. One call through the solve service: solver spec, reads, seed, done.
+    result = repro.solve(
+        new_problem,
+        solver="sa",
+        num_sweeps=profile.sa_num_sweeps,
+        relaxation_parameter=new_problem.relaxation_scale(),
+        num_reads=profile.num_reads,
+        seed=profile.seed,
+    )
+    feasible = new_problem.is_feasible(result.best_assignment)
+    print(
+        f"repro.solve at A = relaxation scale: best energy {result.best_energy:.2f} "
+        f"({'feasible' if feasible else 'infeasible'} tour)"
+    )
 
     # 2.-3. Collect solver data and train the surrogate for the DA-style solver.
     solver = make_solver(profile, "da")
@@ -52,19 +70,25 @@ def main() -> None:
     )
     print(f"offline proposals (no solver calls needed): "
           f"{[round(a, 2) for a in qross.offline_candidates()]}")
-    qross_history = tune_instance(
-        new_problem, solver, qross, num_trials=profile.num_trials, num_reads=profile.num_reads, rng=0
-    )
+    # Both tuning loops share one solve service; every solver call flows
+    # through its thread pool and per-run evaluation cache.
+    with SolveService(max_workers=2) as service:
+        qross_history = tune_instance(
+            new_problem, solver, qross,
+            num_trials=profile.num_trials, num_reads=profile.num_reads, rng=0,
+            service=service,
+        )
 
-    # 5. Baseline for comparison.
-    random_history = tune_instance(
-        new_problem,
-        solver,
-        RandomSearchTuner(bounds, rng=0),
-        num_trials=profile.num_trials,
-        num_reads=profile.num_reads,
-        rng=0,
-    )
+        # 5. Baseline for comparison.
+        random_history = tune_instance(
+            new_problem,
+            solver,
+            RandomSearchTuner(bounds, rng=0),
+            num_trials=profile.num_trials,
+            num_reads=profile.num_reads,
+            rng=0,
+            service=service,
+        )
 
     reference = new_problem.reference_fitness()
     print(f"\nreference (near-optimal) tour length: {reference:.2f}")

@@ -16,6 +16,7 @@ from repro.experiments.datasets import build_problems, make_solver, train_surrog
 from repro.experiments.profiles import resolve_profile
 from repro.experiments.reporting import format_table
 from repro.experiments.runner import qross_tuner_factory, run_comparison
+from repro.service import SolveService
 
 
 def main() -> None:
@@ -32,23 +33,27 @@ def main() -> None:
 
     checkpoint = min(3, profile.num_trials)
     rows = []
-    for trained_on in backends:
-        for evaluated_on in backends:
-            factories = {
-                "QROSS": qross_tuner_factory(
-                    surrogates[trained_on], ComposedStrategyConfig(batch_size=profile.num_reads)
+    # One solve service executes every (surrogate, solver) cell; the solver
+    # backends are constructed through the registry-backed make_solver shim.
+    with SolveService() as service:
+        for trained_on in backends:
+            for evaluated_on in backends:
+                factories = {
+                    "QROSS": qross_tuner_factory(
+                        surrogates[trained_on], ComposedStrategyConfig(batch_size=profile.num_reads)
+                    )
+                }
+                result = run_comparison(
+                    datasets.test_problems,
+                    make_solver(profile, evaluated_on),
+                    factories,
+                    num_trials=checkpoint,
+                    num_reads=profile.num_reads,
+                    rng=profile.seed,
+                    service=service,
                 )
-            }
-            result = run_comparison(
-                datasets.test_problems,
-                make_solver(profile, evaluated_on),
-                factories,
-                num_trials=checkpoint,
-                num_reads=profile.num_reads,
-                rng=profile.seed,
-            )
-            gap = result.summary("QROSS").at_trial(checkpoint)
-            rows.append([trained_on, evaluated_on, f"{gap:.1%}"])
+                gap = result.summary("QROSS").at_trial(checkpoint)
+                rows.append([trained_on, evaluated_on, f"{gap:.1%}"])
 
     print()
     print(format_table(["surrogate trained on", "evaluated with", f"gap@{checkpoint}"], rows))

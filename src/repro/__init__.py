@@ -14,7 +14,19 @@ The package is organised bottom-up:
 * :mod:`repro.experiments` — profiles, runners and generators for every figure
   and table in the paper.
 
-Quick start::
+Solving a QUBO is one call through the solve service::
+
+    import repro
+
+    result = repro.solve(problem, solver="da", num_reads=64,
+                         relaxation_parameter=12.5, seed=0)
+    print(result.best_energy)
+
+Solvers are constructed from registry specs (``"sa"``, ``"tabu?tenure=16"``,
+``repro.make_solver("sa", num_sweeps=2000)``); batched and asynchronous
+workloads go through :class:`repro.service.SolveService`.
+
+Reproducing the paper end to end::
 
     from repro.experiments import resolve_profile, build_problems, train_surrogate_for_solver
     from repro.experiments import qross_tuner_factory, baseline_tuner_factories, run_comparison
@@ -33,6 +45,14 @@ from repro.core.tuner import QROSSTuner
 from repro.problems.mvc import MVCInstance, MVCProblem
 from repro.problems.tsp import TSPInstance, TSPProblem
 from repro.qubo import QUBOModel
+from repro.service import (
+    SolveRequest,
+    SolveResult,
+    SolverRegistry,
+    SolveService,
+    make_solver,
+    solve,
+)
 from repro.solvers import (
     DigitalAnnealerSolver,
     QbsolvSolver,
@@ -52,6 +72,12 @@ __version__ = "1.0.0"
 __all__ = [
     "__version__",
     "QUBOModel",
+    "solve",
+    "make_solver",
+    "SolverRegistry",
+    "SolveRequest",
+    "SolveResult",
+    "SolveService",
     "SimulatedAnnealingSolver",
     "DigitalAnnealerSolver",
     "TabuSearchSolver",

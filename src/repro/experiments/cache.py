@@ -1,107 +1,10 @@
-"""Cache of solver evaluations keyed by (instance, solver, parameter, reads).
+"""Deprecation shim: the solver-call cache moved to :mod:`repro.service.cache`.
 
-Both the surrogate training data collection and the tuning comparison evaluate
-many ``(instance, A)`` pairs; repeated evaluations (e.g. two methods proposing
-the same parameter, or re-running a figure) can reuse the cached statistics.
-The cache stores only aggregate statistics — never raw assignments — so it
-stays small and can be persisted to JSON.
+The cache started life as an experiment-harness helper; with the public solve
+service it became a service-layer component (the service dedupes whole seeded
+solver calls through it).  Importing from here keeps working.
 """
 
-from __future__ import annotations
+from repro.service.cache import CachedEvaluation, SolverCallCache
 
-import json
-from dataclasses import dataclass
-from pathlib import Path
-from typing import Dict, Optional, Tuple
-
-from repro.core.dataset import evaluate_parameter
-from repro.problems.base import ConstrainedProblem
-from repro.solvers.base import QUBOSolver
-from repro.utils.rng import RngLike, ensure_rng
-
-
-@dataclass(frozen=True)
-class CachedEvaluation:
-    """Aggregate outcome of one solver call."""
-
-    probability_of_feasibility: float
-    energy_mean: float
-    energy_std: float
-    best_fitness: Optional[float]
-
-
-class SolverCallCache:
-    """In-memory (optionally JSON-persisted) cache of solver-call statistics."""
-
-    def __init__(self) -> None:
-        self._entries: Dict[str, CachedEvaluation] = {}
-        self.hits = 0
-        self.misses = 0
-
-    @staticmethod
-    def _key(problem: ConstrainedProblem, solver: QUBOSolver, parameter: float, num_reads: int) -> str:
-        fingerprint = getattr(problem, "instance", problem)
-        fingerprint = getattr(fingerprint, "fingerprint", lambda: problem.name)()
-        # The solver name alone is ambiguous: two instances of the same backend
-        # with different configs (e.g. SA with 100 vs 1000 sweeps) produce very
-        # different statistics, so the config fingerprint is part of the key.
-        solver_id = f"{solver.name}:{solver.config_fingerprint()}"
-        return f"{fingerprint}|{solver_id}|{parameter:.9g}|{num_reads}"
-
-    def __len__(self) -> int:
-        return len(self._entries)
-
-    def evaluate(
-        self,
-        problem: ConstrainedProblem,
-        solver: QUBOSolver,
-        parameter: float,
-        num_reads: int,
-        rng: RngLike = None,
-    ) -> CachedEvaluation:
-        """Evaluate a parameter through the cache."""
-        key = self._key(problem, solver, parameter, num_reads)
-        if key in self._entries:
-            self.hits += 1
-            return self._entries[key]
-        self.misses += 1
-        rng = ensure_rng(rng)
-        pf, energy_mean, energy_std, best_fitness = evaluate_parameter(
-            problem, solver, parameter, num_reads, rng=rng
-        )
-        entry = CachedEvaluation(
-            probability_of_feasibility=pf,
-            energy_mean=energy_mean,
-            energy_std=energy_std,
-            best_fitness=best_fitness,
-        )
-        self._entries[key] = entry
-        return entry
-
-    # ------------------------------------------------------------ persistence
-    def save(self, path: str | Path) -> None:
-        """Write the cache to a JSON file."""
-        payload = {
-            key: {
-                "pf": entry.probability_of_feasibility,
-                "energy_mean": entry.energy_mean,
-                "energy_std": entry.energy_std,
-                "best_fitness": entry.best_fitness,
-            }
-            for key, entry in self._entries.items()
-        }
-        Path(path).write_text(json.dumps(payload))
-
-    @classmethod
-    def load(cls, path: str | Path) -> "SolverCallCache":
-        """Restore a cache written by :meth:`save`."""
-        cache = cls()
-        payload = json.loads(Path(path).read_text())
-        for key, entry in payload.items():
-            cache._entries[key] = CachedEvaluation(
-                probability_of_feasibility=float(entry["pf"]),
-                energy_mean=float(entry["energy_mean"]),
-                energy_std=float(entry["energy_std"]),
-                best_fitness=None if entry["best_fitness"] is None else float(entry["best_fitness"]),
-            )
-        return cache
+__all__ = ["CachedEvaluation", "SolverCallCache"]

@@ -12,27 +12,30 @@ from repro.experiments.profiles import ExperimentProfile
 from repro.problems.tsp.generator import SyntheticTSPConfig, generate_dataset
 from repro.problems.tsp.qubo import TSPProblem
 from repro.problems.tsp.tsplib import bundled_tsplib_suite
+from repro.service.registry import SolverRegistry
 from repro.solvers.base import QUBOSolver
-from repro.solvers.digital_annealer import DigitalAnnealerSolver
-from repro.solvers.qbsolv import QbsolvSolver
-from repro.solvers.simulated_annealing import SimulatedAnnealingSolver
 from repro.utils.rng import RngLike, ensure_rng
 
 
 def make_solver(profile: ExperimentProfile, backend: str) -> QUBOSolver:
     """Construct a solver backend sized according to ``profile``.
 
-    ``backend`` is one of ``"da"`` (Digital-Annealer-style), ``"qbsolv"`` or
-    ``"sa"`` (plain simulated annealing).
+    Deprecation shim: construction now goes through the
+    :class:`~repro.service.registry.SolverRegistry` — ``backend`` is any
+    registry name or alias (``"da"``, ``"qbsolv"``, ``"sa"``, ``"tabu"``,
+    ``"qa"``, ``"random"``) and the profile supplies the sized config.
     """
-    backend = backend.lower()
-    if backend in ("da", "digital-annealer"):
-        return DigitalAnnealerSolver(profile.digital_annealer_config())
-    if backend == "qbsolv":
-        return QbsolvSolver(profile.qbsolv_config())
-    if backend in ("sa", "simulated-annealing"):
-        return SimulatedAnnealingSolver(profile.simulated_annealing_config())
-    raise ValueError(f"unknown solver backend {backend!r}")
+    registry = SolverRegistry.default()
+    name = registry.canonical_name(backend)
+    config_factories = {
+        "da": profile.digital_annealer_config,
+        "qbsolv": profile.qbsolv_config,
+        "sa": profile.simulated_annealing_config,
+        "tabu": profile.tabu_search_config,
+        "qa": profile.quantum_annealer_config,
+    }
+    factory = config_factories.get(name)
+    return registry.create(name, config=factory() if factory is not None else None)
 
 
 @dataclass(frozen=True)

@@ -35,6 +35,7 @@ from repro.problems.mvc.generator import RandomMVCConfig, generate_mvc_instance
 from repro.problems.mvc.qubo import MVCProblem
 from repro.problems.tsp.qubo import TSPProblem
 from repro.qubo.precision import AnalogNoiseModel, QuantizationModel
+from repro.service.service import SolveService, default_service
 from repro.solvers.quantum_annealer import QuantumAnnealerConfig, QuantumAnnealerSolver
 from repro.solvers.simulated_annealing import SimulatedAnnealingSolver
 from repro.utils.rng import RngLike, ensure_rng
@@ -65,10 +66,12 @@ def figure1_landscape(
     problem: Optional[TSPProblem] = None,
     multipliers: Sequence[float] = (0.2, 0.35, 0.5, 0.65, 0.8, 0.9, 1.0, 1.1, 1.25, 1.5, 2.0, 2.5),
     rng: RngLike = None,
+    service: Optional[SolveService] = None,
 ) -> Figure1Result:
     """Sweep the relaxation parameter for the DA-style and SA solvers (paper Fig. 1)."""
     profile = profile or resolve_profile()
     rng = ensure_rng(rng if rng is not None else profile.seed)
+    service = service or default_service()
     if problem is None:
         problem = build_problems(profile).test_problems[0]
     scale = problem.relaxation_scale()
@@ -80,7 +83,7 @@ def figure1_landscape(
         pf_values, min_energies, best_fitnesses = [], [], []
         for parameter in parameters:
             model = problem.build_qubo(float(parameter))
-            samples = solver.sample(model, num_reads=profile.num_reads, rng=rng)
+            samples = service.sample(model, solver, num_reads=profile.num_reads, rng=rng)
             pf_values.append(samples.probability_of_feasibility(problem.is_feasible))
             min_energies.append(float(samples.energies.min()))
             fitnesses = [

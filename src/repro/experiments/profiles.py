@@ -20,6 +20,7 @@ from dataclasses import dataclass, field, replace
 
 from repro.solvers.digital_annealer import DigitalAnnealerConfig
 from repro.solvers.qbsolv import QbsolvConfig
+from repro.solvers.quantum_annealer import QuantumAnnealerConfig
 from repro.solvers.simulated_annealing import SimulatedAnnealingConfig
 from repro.solvers.tabu import TabuSearchConfig
 
@@ -59,11 +60,17 @@ class ExperimentProfile:
     def qbsolv_config(self) -> QbsolvConfig:
         return QbsolvConfig(
             subproblem_size=self.qbsolv_subproblem_size,
-            subsolver_config=TabuSearchConfig(
-                num_steps=self.qbsolv_tabu_steps,
-                restart_after=max(20, self.qbsolv_tabu_steps // 3),
-            ),
+            subsolver_config=self.tabu_search_config(),
         )
+
+    def tabu_search_config(self) -> TabuSearchConfig:
+        return TabuSearchConfig(
+            num_steps=self.qbsolv_tabu_steps,
+            restart_after=max(20, self.qbsolv_tabu_steps // 3),
+        )
+
+    def quantum_annealer_config(self) -> QuantumAnnealerConfig:
+        return QuantumAnnealerConfig(base_config=self.simulated_annealing_config())
 
     def scaled(self, **overrides) -> "ExperimentProfile":
         """Return a copy with selected fields overridden."""

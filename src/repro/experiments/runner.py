@@ -20,6 +20,7 @@ from repro.core.tuner import QROSSTuner
 from repro.experiments.cache import SolverCallCache
 from repro.experiments.metrics import GapSummary, gap_curve, summarise_gap_curves
 from repro.problems.base import ConstrainedProblem
+from repro.service.service import SolveService, default_service
 from repro.solvers.base import QUBOSolver
 from repro.tuning.base import ParameterBounds, ParameterTuner, TrialHistory, TrialResult
 from repro.tuning.bayesian_optimisation import BayesianOptimisationTuner
@@ -109,16 +110,23 @@ def tune_instance(
     num_reads: int,
     rng: RngLike = None,
     cache: Optional[SolverCallCache] = None,
+    service: Optional[SolveService] = None,
 ) -> TrialHistory:
-    """Run one tuner on one instance for ``num_trials`` solver calls."""
+    """Run one tuner on one instance for ``num_trials`` solver calls.
+
+    Every evaluation flows through the solve service (the shared default one
+    unless ``service`` is given); the RNG is passed through unchanged, so
+    seeded results are identical to the historical direct-call path.
+    """
     if num_trials <= 0:
         raise ValueError("num_trials must be positive")
     rng = ensure_rng(rng)
     cache = cache or SolverCallCache()
+    service = service or default_service()
     history = TrialHistory()
     for _ in range(num_trials):
         parameter = tuner.bounds.clip(tuner.suggest(history))
-        outcome = cache.evaluate(problem, solver, parameter, num_reads, rng=rng)
+        outcome = service.evaluate(problem, solver, parameter, num_reads, rng=rng, cache=cache)
         trial = TrialResult(
             parameter=parameter,
             probability_of_feasibility=outcome.probability_of_feasibility,
@@ -140,6 +148,7 @@ def run_comparison(
     rng: RngLike = None,
     cache: Optional[SolverCallCache] = None,
     bounds_fn: Callable[[ConstrainedProblem], ParameterBounds] = default_bounds,
+    service: Optional[SolveService] = None,
 ) -> ComparisonResult:
     """Run every method on every instance and collect gap curves.
 
@@ -171,6 +180,7 @@ def run_comparison(
                 num_reads=num_reads,
                 rng=stream,
                 cache=cache,
+                service=service,
             )
             result.runs.append(
                 InstanceRunResult(

@@ -1,0 +1,183 @@
+"""Cache of solver calls: aggregate statistics and seeded sample-set dedup.
+
+Aggregate entries are keyed by (instance, solver, parameter, reads).
+Both the surrogate training data collection and the tuning comparison evaluate
+many ``(instance, A)`` pairs; repeated evaluations (e.g. two methods proposing
+the same parameter, or re-running a figure) can reuse the cached statistics.
+The cache stores only aggregate statistics — never raw assignments — so it
+stays small and can be persisted to JSON.
+
+The :class:`~repro.service.service.SolveService` additionally dedupes whole
+*seeded* solver calls through this class: identical requests (same QUBO
+fingerprint, solver fingerprint, reads and seed) execute the engine exactly
+once and every duplicate is served the stored :class:`SampleSet`.  Sample-set
+entries are deterministic by construction (the seed pins the stream), live
+only in memory, and are never part of the JSON persistence.
+
+All mutating paths are lock-protected so the cache can sit behind a
+thread-pooled service.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Optional, Tuple
+
+from repro.core.dataset import evaluate_parameter
+from repro.problems.base import ConstrainedProblem
+from repro.qubo.model import QUBOModel
+from repro.qubo.sampleset import SampleSet
+from repro.solvers.base import QUBOSolver
+from repro.utils.rng import RngLike, ensure_rng
+
+
+@dataclass(frozen=True)
+class CachedEvaluation:
+    """Aggregate outcome of one solver call."""
+
+    probability_of_feasibility: float
+    energy_mean: float
+    energy_std: float
+    best_fitness: Optional[float]
+
+
+class SolverCallCache:
+    """In-memory (optionally JSON-persisted) cache of solver-call statistics.
+
+    ``max_sample_entries`` bounds the sample-set dedup store: unlike the tiny
+    aggregate entries, each sample set holds a full ``(reads, n)`` assignment
+    matrix, so the store is an LRU — least-recently-used sets are evicted once
+    the bound is hit (an evicted seeded request simply re-runs, bitwise
+    identically, on its next appearance).
+    """
+
+    def __init__(self, max_sample_entries: int = 256) -> None:
+        if max_sample_entries <= 0:
+            raise ValueError("max_sample_entries must be positive")
+        self._entries: Dict[str, CachedEvaluation] = {}
+        self._samples: "OrderedDict[str, SampleSet]" = OrderedDict()
+        self.max_sample_entries = max_sample_entries
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    # ----------------------------------------------------------------- keying
+    @staticmethod
+    def evaluation_key(
+        problem: ConstrainedProblem, solver: QUBOSolver, parameter: float, num_reads: int
+    ) -> str:
+        """Cache key of an aggregate (instance, solver, parameter, reads) evaluation."""
+        fingerprint = getattr(problem, "instance", problem)
+        fingerprint = getattr(fingerprint, "fingerprint", lambda: problem.name)()
+        # The solver name alone is ambiguous: two instances of the same backend
+        # with different configs (e.g. SA with 100 vs 1000 sweeps) produce very
+        # different statistics, so the config fingerprint is part of the key.
+        solver_id = f"{solver.name}:{solver.config_fingerprint()}"
+        return f"{fingerprint}|{solver_id}|{parameter:.9g}|{num_reads}"
+
+    # Backwards-compatible private alias (pre-service callers used _key).
+    _key = evaluation_key
+
+    @staticmethod
+    def sample_key(model: QUBOModel, solver: QUBOSolver, num_reads: int, seed: int) -> str:
+        """Cache key of one full seeded solver call (sample-set dedup)."""
+        solver_id = f"{solver.name}:{solver.config_fingerprint()}"
+        return f"samples|{model.fingerprint()}|{solver_id}|{num_reads}|{seed}"
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def num_sample_entries(self) -> int:
+        return len(self._samples)
+
+    # ----------------------------------------------------------- entry access
+    def lookup(self, key: str) -> Optional[CachedEvaluation]:
+        """Fetch an aggregate entry, counting the hit or miss."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+            else:
+                self.hits += 1
+            return entry
+
+    def store(self, key: str, entry: CachedEvaluation) -> None:
+        with self._lock:
+            self._entries[key] = entry
+
+    def lookup_samples(self, key: str) -> Optional[SampleSet]:
+        """Fetch a deduped sample set, counting the hit or miss."""
+        with self._lock:
+            samples = self._samples.get(key)
+            if samples is None:
+                self.misses += 1
+            else:
+                self.hits += 1
+                self._samples.move_to_end(key)
+            return samples
+
+    def store_samples(self, key: str, samples: SampleSet) -> None:
+        with self._lock:
+            self._samples[key] = samples
+            self._samples.move_to_end(key)
+            while len(self._samples) > self.max_sample_entries:
+                self._samples.popitem(last=False)
+
+    def evaluate(
+        self,
+        problem: ConstrainedProblem,
+        solver: QUBOSolver,
+        parameter: float,
+        num_reads: int,
+        rng: RngLike = None,
+    ) -> CachedEvaluation:
+        """Evaluate a parameter through the cache."""
+        key = self.evaluation_key(problem, solver, parameter, num_reads)
+        entry = self.lookup(key)
+        if entry is not None:
+            return entry
+        rng = ensure_rng(rng)
+        pf, energy_mean, energy_std, best_fitness = evaluate_parameter(
+            problem, solver, parameter, num_reads, rng=rng
+        )
+        entry = CachedEvaluation(
+            probability_of_feasibility=pf,
+            energy_mean=energy_mean,
+            energy_std=energy_std,
+            best_fitness=best_fitness,
+        )
+        self.store(key, entry)
+        return entry
+
+    # ------------------------------------------------------------ persistence
+    def save(self, path: str | Path) -> None:
+        """Write the aggregate entries to a JSON file (sample sets stay in memory)."""
+        payload = {
+            key: {
+                "pf": entry.probability_of_feasibility,
+                "energy_mean": entry.energy_mean,
+                "energy_std": entry.energy_std,
+                "best_fitness": entry.best_fitness,
+            }
+            for key, entry in self._entries.items()
+        }
+        Path(path).write_text(json.dumps(payload))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "SolverCallCache":
+        """Restore a cache written by :meth:`save`."""
+        cache = cls()
+        payload = json.loads(Path(path).read_text())
+        for key, entry in payload.items():
+            cache._entries[key] = CachedEvaluation(
+                probability_of_feasibility=float(entry["pf"]),
+                energy_mean=float(entry["energy_mean"]),
+                energy_std=float(entry["energy_std"]),
+                best_fitness=None if entry["best_fitness"] is None else float(entry["best_fitness"]),
+            )
+        return cache

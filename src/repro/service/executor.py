@@ -1,0 +1,86 @@
+"""Shared thread pools backing the solve service.
+
+Two pools with distinct roles:
+
+* the *request pool* (owned by each :class:`~repro.service.service.SolveService`
+  instance) runs whole solver calls submitted through the service, and
+* the module-level *read pool* runs the per-read inner loops of solvers whose
+  reads are embarrassingly parallel (currently the qbsolv decomposer).
+
+Keeping them separate means a solver running inside a request-pool worker can
+fan its reads out without risking the classic nested-thread-pool deadlock
+(parents occupying every worker while waiting for their own children).
+
+Numpy releases the GIL inside BLAS/CSR kernels, so threads — not processes —
+are the right level of parallelism here; states never need pickling and the
+QUBO matrix is shared read-only.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Optional
+
+#: Environment variable overriding the read-pool width; ``0`` or ``1`` disables
+#: the pool entirely (reads then run serially in the calling thread).
+READ_WORKERS_ENV = "QROSS_READ_WORKERS"
+
+_read_executor: Optional[ThreadPoolExecutor] = None
+_read_workers: int = 0
+_lock = threading.Lock()
+
+
+def default_worker_count() -> int:
+    """Pool width used when nothing is configured: modest, laptop-friendly."""
+    return min(8, os.cpu_count() or 1)
+
+
+def read_executor() -> Optional[ThreadPoolExecutor]:
+    """The process-wide pool for per-read solver parallelism.
+
+    Returns ``None`` when the configured width is <= 1, in which case callers
+    should fall back to a serial loop.  The pool is created lazily on first
+    use and shared by every solver in the process.
+    """
+    global _read_executor, _read_workers
+    workers = _configured_read_workers()
+    if workers <= 1:
+        return None
+    with _lock:
+        if _read_executor is None or _read_workers != workers:
+            if _read_executor is not None:
+                _read_executor.shutdown(wait=False)
+            _read_executor = ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix="qross-read"
+            )
+            _read_workers = workers
+        return _read_executor
+
+
+def read_worker_count() -> int:
+    """Number of workers per-read parallel solvers will use (1 = serial)."""
+    return max(1, _configured_read_workers())
+
+
+def shutdown_read_executor() -> None:
+    """Tear down the shared read pool (used by tests and interpreter exit)."""
+    global _read_executor, _read_workers
+    with _lock:
+        if _read_executor is not None:
+            _read_executor.shutdown(wait=True)
+            _read_executor = None
+            _read_workers = 0
+
+
+def _configured_read_workers() -> int:
+    raw = os.environ.get(READ_WORKERS_ENV)
+    if raw is None:
+        return default_worker_count()
+    try:
+        return int(raw)
+    except ValueError as exc:
+        raise ValueError(
+            f"{READ_WORKERS_ENV} must be an integer, got {raw!r}"
+        ) from exc

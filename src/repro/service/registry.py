@@ -1,0 +1,308 @@
+"""Declarative registry of QUBO solver backends with string-spec construction.
+
+The registry is the public seam between "I want a solver" and the backend
+classes: every backend registers once (canonical name, aliases, solver class,
+config class) and callers construct solvers from *specs* instead of importing
+config dataclasses:
+
+>>> make_solver("sa", num_sweeps=2000)
+>>> make_solver("tabu?tenure=16&num_steps=300")
+>>> make_solver("da")
+
+The spec grammar is URL-style: ``name`` or ``name?key=value&key=value`` where
+``name`` is a canonical backend name or alias (case-insensitive) and values
+parse as int, float, bool (``true``/``false``/``yes``/``no``), ``none``/
+``null`` or fall back to strings.  Keyword arguments passed alongside a spec
+override the spec's own options.
+
+Two solvers built from the same spec share a ``config_fingerprint()`` — the
+stable hash cache layers key on — so a spec round-trips: parse it twice, or
+construct the config dataclass by hand, and the fingerprints agree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields as dataclass_fields
+from typing import Any, Dict, Iterable, Optional, Tuple, Type
+
+from repro.solvers.base import QUBOSolver
+from repro.solvers.digital_annealer import DigitalAnnealerConfig, DigitalAnnealerSolver
+from repro.solvers.qbsolv import QbsolvConfig, QbsolvSolver
+from repro.solvers.quantum_annealer import QuantumAnnealerConfig, QuantumAnnealerSolver
+from repro.solvers.random_solver import RandomSolver
+from repro.solvers.simulated_annealing import SimulatedAnnealingConfig, SimulatedAnnealingSolver
+from repro.solvers.tabu import TabuSearchConfig, TabuSearchSolver
+
+
+@dataclass(frozen=True)
+class RegisteredBackend:
+    """One solver backend known to a :class:`SolverRegistry`."""
+
+    name: str
+    solver_cls: Type[QUBOSolver]
+    config_cls: Optional[type]
+    aliases: Tuple[str, ...] = ()
+    description: str = ""
+
+    def option_names(self) -> Tuple[str, ...]:
+        """Names of the config fields a spec may set (empty for config-less)."""
+        if self.config_cls is None:
+            return ()
+        return tuple(f.name for f in dataclass_fields(self.config_cls))
+
+    def create(self, config: Any = None, **options: Any) -> QUBOSolver:
+        """Instantiate the backend from a ready config object or flat options."""
+        if config is not None:
+            if options:
+                raise ValueError(
+                    f"backend {self.name!r}: pass either a config object or "
+                    f"keyword options, not both"
+                )
+            return self.solver_cls(config)
+        if self.config_cls is None:
+            if options:
+                raise ValueError(
+                    f"backend {self.name!r} takes no options, got {sorted(options)}"
+                )
+            return self.solver_cls()
+        known = set(self.option_names())
+        unknown = sorted(set(options) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown option(s) {unknown} for backend {self.name!r}; "
+                f"valid options: {sorted(known)}"
+            )
+        return self.solver_cls(self.config_cls(**options))
+
+
+class _hybridmethod:
+    """Descriptor: on an instance, bind to it; on the class, bind to the
+    default registry — so ``SolverRegistry.from_spec("sa")`` works without
+    first fetching :meth:`SolverRegistry.default`."""
+
+    def __init__(self, func):
+        self.func = func
+        self.__doc__ = func.__doc__
+
+    def __get__(self, obj, objtype=None):
+        target = obj if obj is not None else objtype.default()
+        return self.func.__get__(target, type(target))
+
+
+class SolverRegistry:
+    """Name -> backend mapping with spec parsing and construction.
+
+    Most code uses the process-wide default registry (every bundled backend
+    pre-registered); private registries are useful for tests and plugins.
+    The construction entry points (:meth:`from_spec`, :meth:`create`, ...)
+    are hybrid: calling them on the *class* operates on the default registry.
+    """
+
+    _default: Optional["SolverRegistry"] = None
+
+    def __init__(self) -> None:
+        self._backends: Dict[str, RegisteredBackend] = {}
+        self._by_alias: Dict[str, str] = {}
+
+    # -------------------------------------------------------------- registration
+    def register(
+        self,
+        name: str,
+        solver_cls: Type[QUBOSolver],
+        config_cls: Optional[type] = None,
+        aliases: Iterable[str] = (),
+        description: str = "",
+    ) -> RegisteredBackend:
+        """Register a backend under ``name`` (plus case-insensitive aliases)."""
+        key = name.strip().lower()
+        if key in self._backends:
+            raise ValueError(f"backend {key!r} is already registered")
+        backend = RegisteredBackend(
+            name=key,
+            solver_cls=solver_cls,
+            config_cls=config_cls,
+            aliases=tuple(a.strip().lower() for a in aliases),
+            description=description,
+        )
+        labels = (key, *backend.aliases)
+        # Validate every label before mutating, so a conflict cannot leave the
+        # registry half-registered.
+        for label in labels:
+            existing = self._by_alias.get(label)
+            if existing is not None and existing != key:
+                raise ValueError(
+                    f"name {label!r} already registered for backend {existing!r}"
+                )
+        for label in labels:
+            self._by_alias[label] = key
+        self._backends[key] = backend
+        return backend
+
+    @classmethod
+    def default(cls) -> "SolverRegistry":
+        """The process-wide registry with every bundled backend registered."""
+        if cls._default is None:
+            cls._default = _build_default_registry()
+        return cls._default
+
+    # ------------------------------------------------------------------- lookup
+    @_hybridmethod
+    def names(self) -> Tuple[str, ...]:
+        """Canonical backend names, sorted."""
+        return tuple(sorted(self._backends))
+
+    @_hybridmethod
+    def backends(self) -> Tuple[RegisteredBackend, ...]:
+        """All registered backends, sorted by canonical name."""
+        return tuple(self._backends[name] for name in sorted(self._backends))
+
+    @_hybridmethod
+    def canonical_name(self, name: str) -> str:
+        """Resolve a name or alias to the canonical backend name."""
+        key = name.strip().lower()
+        try:
+            return self._by_alias[key]
+        except KeyError:
+            raise ValueError(
+                f"unknown solver backend {name!r}; known backends: "
+                f"{', '.join(sorted(self._by_alias))}"
+            ) from None
+
+    @_hybridmethod
+    def backend(self, name: str) -> RegisteredBackend:
+        """The :class:`RegisteredBackend` for a name or alias."""
+        return self._backends[self.canonical_name(name)]
+
+    def __contains__(self, name: str) -> bool:
+        return name.strip().lower() in self._by_alias
+
+    @_hybridmethod
+    def describe(self) -> str:
+        """Human-readable table of backends, aliases and options."""
+        lines = []
+        for backend in self.backends():
+            aliases = f" (aliases: {', '.join(backend.aliases)})" if backend.aliases else ""
+            options = ", ".join(backend.option_names()) or "-"
+            lines.append(f"{backend.name}{aliases}: {backend.description}")
+            lines.append(f"    options: {options}")
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------- construction
+    @_hybridmethod
+    def create(self, name: str, config: Any = None, **options: Any) -> QUBOSolver:
+        """Construct a backend by name from a config object or flat options."""
+        return self.backend(name).create(config=config, **options)
+
+    @_hybridmethod
+    def from_spec(self, spec: "str | QUBOSolver", **overrides: Any) -> QUBOSolver:
+        """Construct a solver from a spec string (``"tabu?tenure=16"``).
+
+        An existing :class:`QUBOSolver` instance passes straight through
+        (no overrides allowed), which lets APIs accept "spec or solver"
+        uniformly.
+        """
+        if isinstance(spec, QUBOSolver):
+            if overrides:
+                raise ValueError(
+                    "options cannot be applied to an already-constructed solver"
+                )
+            return spec
+        name, options = parse_spec(spec)
+        options.update(overrides)
+        return self.create(name, **options)
+
+
+def parse_spec(spec: str) -> Tuple[str, Dict[str, Any]]:
+    """Split ``"name?key=value&..."`` into ``(name, {key: parsed_value})``."""
+    if not isinstance(spec, str) or not spec.strip():
+        raise ValueError(f"solver spec must be a non-empty string, got {spec!r}")
+    name, _, query = spec.partition("?")
+    name = name.strip().lower()
+    if not name:
+        raise ValueError(f"solver spec {spec!r} has no backend name")
+    options: Dict[str, Any] = {}
+    if query:
+        for item in query.split("&"):
+            key, sep, raw = item.partition("=")
+            key = key.strip()
+            if not sep or not key:
+                raise ValueError(
+                    f"malformed option {item!r} in spec {spec!r}; expected key=value"
+                )
+            options[key] = parse_value(raw.strip())
+    return name, options
+
+
+def parse_value(raw: str) -> Any:
+    """Parse a spec option value: int, float, bool, none, else string."""
+    lowered = raw.lower()
+    if lowered in ("true", "yes"):
+        return True
+    if lowered in ("false", "no"):
+        return False
+    if lowered in ("none", "null"):
+        return None
+    try:
+        return int(raw)
+    except ValueError:
+        pass
+    try:
+        return float(raw)
+    except ValueError:
+        pass
+    return raw
+
+
+def _build_default_registry() -> SolverRegistry:
+    registry = SolverRegistry()
+    registry.register(
+        "sa",
+        SimulatedAnnealingSolver,
+        SimulatedAnnealingConfig,
+        aliases=("simulated-annealing",),
+        description="blocked single-flip Metropolis simulated annealing (CPU)",
+    )
+    registry.register(
+        "da",
+        DigitalAnnealerSolver,
+        DigitalAnnealerConfig,
+        aliases=("digital-annealer",),
+        description="Digital-Annealer-style parallel-trial annealer with dynamic offset",
+    )
+    registry.register(
+        "tabu",
+        TabuSearchSolver,
+        TabuSearchConfig,
+        aliases=("tabu-search",),
+        description="best-improvement single-flip tabu search, batched over replicas",
+    )
+    registry.register(
+        "qbsolv",
+        QbsolvSolver,
+        QbsolvConfig,
+        description="qbsolv-style decomposing hybrid with tabu sub-solver",
+    )
+    registry.register(
+        "qa",
+        QuantumAnnealerSolver,
+        QuantumAnnealerConfig,
+        aliases=("quantum-annealer",),
+        description="annealer with analog control error and quantised coefficients",
+    )
+    registry.register(
+        "random",
+        RandomSolver,
+        None,
+        description="uniform random sampling baseline",
+    )
+    return registry
+
+
+def make_solver(spec: "str | QUBOSolver", **options: Any) -> QUBOSolver:
+    """Construct a solver from a spec against the default registry.
+
+    ``make_solver("sa", num_sweeps=2000)`` and
+    ``make_solver("tabu?tenure=16")`` are equivalent entry points; an existing
+    solver instance passes through unchanged.
+    """
+    return SolverRegistry.default().from_spec(spec, **options)

@@ -1,0 +1,393 @@
+"""The solve service: batching, deduplicating, thread-pooled QUBO solving.
+
+This is the production entry point the paper's setting implies — many
+instances hitting the same solver backends under different relaxation
+parameters.  The service accepts :class:`~repro.service.requests.SolveRequest`
+objects and
+
+* executes them across a configurable thread pool (:meth:`SolveService.submit`
+  returns a future; :meth:`SolveService.map_requests` resolves a whole batch),
+* groups same-(model, solver-fingerprint) unseeded requests into a *single
+  batched engine call* — the replica-vectorised solvers make one call with
+  ``sum(num_reads)`` reads far cheaper than separate calls — and deals the
+  merged reads back to the requests through an unbiased random permutation,
+* dedupes *seeded* requests through :class:`SolverCallCache`: identical
+  requests run the engine exactly once, and
+* derives deterministic RNG streams: a seeded request is byte-identical to
+  ``solver.sample(model, num_reads, rng=np.random.default_rng(seed))``
+  regardless of pool width or submission order; unseeded requests draw child
+  streams from the service's root generator.
+
+The aggregate-statistics path used by the tuners
+(:meth:`SolveService.evaluate`) and the raw passthrough
+(:meth:`SolveService.sample`) run on the same pool, so every solver call in
+the library flows through one seam — the place to later hang sharding,
+multiprocess or GPU backends.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import defaultdict
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.dataset import evaluate_parameter
+from repro.problems.base import ConstrainedProblem
+from repro.qubo.model import QUBOModel
+from repro.qubo.sampleset import SampleSet
+from repro.service.cache import CachedEvaluation, SolverCallCache
+from repro.service.executor import default_worker_count
+from repro.service.registry import SolverRegistry
+from repro.service.requests import SolveRequest, SolveResult
+from repro.solvers.base import QUBOSolver
+from repro.utils.rng import RngLike, ensure_rng
+
+SolverLike = Union[str, QUBOSolver]
+
+
+class SolveService:
+    """Thread-pooled executor of :class:`SolveRequest` batches.
+
+    Parameters
+    ----------
+    max_workers:
+        Width of the request pool (default: modest, CPU-count-capped).
+    cache:
+        :class:`SolverCallCache` used to dedupe seeded requests and, via
+        :meth:`evaluate`, aggregate statistics.  A private cache is created
+        when omitted.
+    registry:
+        Solver registry resolving spec strings (default: the global one).
+    seed:
+        Root seed for the child streams handed to *unseeded* requests.
+    """
+
+    def __init__(
+        self,
+        max_workers: Optional[int] = None,
+        cache: Optional[SolverCallCache] = None,
+        registry: Optional[SolverRegistry] = None,
+        seed: RngLike = None,
+    ) -> None:
+        if max_workers is not None and max_workers <= 0:
+            raise ValueError("max_workers must be positive")
+        self.max_workers = max_workers or default_worker_count()
+        self.cache = cache if cache is not None else SolverCallCache()
+        self.registry = registry or SolverRegistry.default()
+        self._root_rng = ensure_rng(seed)
+        self._lock = threading.Lock()
+        # Striped locks for seeded-request dedup: a fixed array keyed by hash
+        # gives the same exactly-once guarantee as one lock per key without
+        # growing with the number of distinct requests (collisions merely
+        # serialise two unrelated keys occasionally).
+        self._key_locks = tuple(threading.Lock() for _ in range(64))
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._closed = False
+
+    # ---------------------------------------------------------------- plumbing
+    def _pool(self) -> ThreadPoolExecutor:
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("SolveService is closed")
+            if self._executor is None:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=self.max_workers, thread_name_prefix="qross-service"
+                )
+            return self._executor
+
+    def close(self) -> None:
+        """Shut the request pool down; further submissions raise."""
+        with self._lock:
+            self._closed = True
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=True)
+
+    def __enter__(self) -> "SolveService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def resolve_solver(self, solver: SolverLike) -> QUBOSolver:
+        """Spec string -> solver instance (instances pass through)."""
+        return self.registry.from_spec(solver)
+
+    def _spawn_rng(self) -> np.random.Generator:
+        """Thread-safe child stream for an unseeded request."""
+        with self._lock:
+            seed = int(self._root_rng.integers(0, 2**63 - 1))
+        return np.random.default_rng(seed)
+
+    def _key_lock(self, key: str) -> threading.Lock:
+        return self._key_locks[hash(key) % len(self._key_locks)]
+
+    # ------------------------------------------------------------- single shot
+    def submit(self, request: SolveRequest) -> "Future[SolveResult]":
+        """Schedule one request; returns a future resolving to its result."""
+        solver = self.resolve_solver(request.solver)
+        model = request.resolve_model()
+        return self._submit_resolved(request, model, solver)
+
+    def _submit_resolved(
+        self, request: SolveRequest, model: QUBOModel, solver: QUBOSolver
+    ) -> "Future[SolveResult]":
+        if request.seed is not None:
+            return self._pool().submit(self._run_seeded, request, model, solver)
+        rng = self._spawn_rng()
+        return self._pool().submit(self._run_unseeded, request, model, solver, rng)
+
+    def _run_seeded(
+        self, request: SolveRequest, model: QUBOModel, solver: QUBOSolver
+    ) -> SolveResult:
+        key = SolverCallCache.sample_key(model, solver, request.num_reads, int(request.seed))
+        # Per-key lock: concurrent duplicates wait for the first execution and
+        # are then served from the cache — the engine runs exactly once.
+        with self._key_lock(key):
+            samples = self.cache.lookup_samples(key)
+            if samples is not None:
+                return self._result(request, samples, solver, from_cache=True)
+            samples = solver.sample(model, num_reads=request.num_reads, rng=request.rng())
+            self.cache.store_samples(key, samples)
+            return self._result(request, samples, solver)
+
+    def _run_unseeded(
+        self,
+        request: SolveRequest,
+        model: QUBOModel,
+        solver: QUBOSolver,
+        rng: np.random.Generator,
+    ) -> SolveResult:
+        samples = solver.sample(model, num_reads=request.num_reads, rng=rng)
+        return self._result(request, samples, solver)
+
+    @staticmethod
+    def _result(
+        request: SolveRequest,
+        samples: SampleSet,
+        solver: QUBOSolver,
+        from_cache: bool = False,
+        batched_group_size: int = 1,
+    ) -> SolveResult:
+        return SolveResult(
+            request=request,
+            samples=samples,
+            solver_name=solver.name,
+            solver_fingerprint=solver.config_fingerprint(),
+            from_cache=from_cache,
+            batched_group_size=batched_group_size,
+        )
+
+    # ------------------------------------------------------------------ batches
+    def map_requests(self, requests: Iterable[SolveRequest]) -> List[SolveResult]:
+        """Execute a batch of requests, preserving input order in the results.
+
+        Requests are grouped by ``(model fingerprint, solver fingerprint)``.
+        Within a group, unseeded requests are merged into one engine call with
+        the summed read count; seeded requests keep their own deterministic
+        streams (and cache dedup) and run individually.
+        """
+        requests = list(requests)
+        resolved: List[Tuple[SolveRequest, QUBOModel, QUBOSolver]] = []
+        groups: Dict[Tuple[str, str], List[int]] = defaultdict(list)
+        for index, request in enumerate(requests):
+            solver = self.resolve_solver(request.solver)
+            model = request.resolve_model()
+            resolved.append((request, model, solver))
+            groups[(model.fingerprint(), f"{solver.name}:{solver.config_fingerprint()}")].append(index)
+
+        futures: Dict[int, "Future"] = {}
+        merged: List[Tuple[List[int], "Future[List[SolveResult]]"]] = []
+        for indices in groups.values():
+            unseeded = [i for i in indices if requests[i].seed is None]
+            for i in indices:
+                if requests[i].seed is not None:
+                    request, model, solver = resolved[i]
+                    futures[i] = self._submit_resolved(request, model, solver)
+            if len(unseeded) == 1:
+                request, model, solver = resolved[unseeded[0]]
+                futures[unseeded[0]] = self._submit_resolved(request, model, solver)
+            elif unseeded:
+                _, model, solver = resolved[unseeded[0]]
+                entries = [resolved[i][0] for i in unseeded]
+                rng = self._spawn_rng()
+                merged.append(
+                    (unseeded, self._pool().submit(self._run_merged, entries, model, solver, rng))
+                )
+
+        results: List[Optional[SolveResult]] = [None] * len(requests)
+        for index, future in futures.items():
+            results[index] = future.result()
+        for indices, future in merged:
+            for index, result in zip(indices, future.result()):
+                results[index] = result
+        return results  # type: ignore[return-value]
+
+    def _run_merged(
+        self,
+        entries: Sequence[SolveRequest],
+        model: QUBOModel,
+        solver: QUBOSolver,
+        rng: np.random.Generator,
+    ) -> List[SolveResult]:
+        """One engine call for a group of unseeded same-(model, solver) requests.
+
+        The merged sample set is dealt back through a random permutation, so
+        every request receives an exchangeable (unbiased) subset of the reads
+        rather than a slice of the energy-sorted batch.
+        """
+        total = sum(request.num_reads for request in entries)
+        samples = solver.sample(model, num_reads=total, rng=rng)
+        permutation = rng.permutation(total)
+        results: List[SolveResult] = []
+        offset = 0
+        for request in entries:
+            take = permutation[offset : offset + request.num_reads]
+            offset += request.num_reads
+            info = dict(samples.info)
+            info["batched_group_size"] = len(entries)
+            info["batched_total_reads"] = total
+            subset = SampleSet(
+                samples.assignments[take],
+                samples.energies[take],
+                samples.num_occurrences[take],
+                solver_name=samples.solver_name,
+                info=info,
+            )
+            results.append(
+                self._result(request, subset, solver, batched_group_size=len(entries))
+            )
+        return results
+
+    # ------------------------------------------------------------ conveniences
+    def solve(
+        self,
+        problem_or_model: Union[QUBOModel, ConstrainedProblem],
+        solver: SolverLike = "sa",
+        num_reads: int = 1,
+        relaxation_parameter: Optional[float] = None,
+        seed: Optional[int] = None,
+        label: str = "",
+        **solver_options,
+    ) -> SolveResult:
+        """One-call solve: build the request, run it, return the result."""
+        resolved = self.registry.from_spec(solver, **solver_options)
+        if isinstance(problem_or_model, QUBOModel):
+            if relaxation_parameter is not None:
+                raise ValueError(
+                    "relaxation_parameter only applies when solving a problem; "
+                    "a QUBOModel is already built"
+                )
+            request = SolveRequest(
+                solver=resolved, model=problem_or_model, num_reads=num_reads,
+                seed=seed, label=label,
+            )
+        else:
+            request = SolveRequest(
+                solver=resolved,
+                problem=problem_or_model,
+                relaxation_parameter=relaxation_parameter,
+                num_reads=num_reads,
+                seed=seed,
+                label=label,
+            )
+        return self.submit(request).result()
+
+    def sample(
+        self,
+        model: QUBOModel,
+        solver: SolverLike,
+        num_reads: int = 1,
+        rng: RngLike = None,
+    ) -> SampleSet:
+        """Raw passthrough: run one solver call on the pool with the caller's RNG.
+
+        Unlike :meth:`submit` this accepts a live generator, which lets legacy
+        sequential pipelines keep their exact seeded behaviour while still
+        routing every engine call through the service.
+        """
+        resolved = self.resolve_solver(solver)
+        return self._pool().submit(resolved.sample, model, num_reads, ensure_rng(rng)).result()
+
+    def evaluate(
+        self,
+        problem: ConstrainedProblem,
+        solver: SolverLike,
+        parameter: float,
+        num_reads: int,
+        rng: RngLike = None,
+        cache: Optional[SolverCallCache] = None,
+    ) -> CachedEvaluation:
+        """Aggregate-statistics evaluation used by the tuning loops.
+
+        Byte-compatible with the legacy ``SolverCallCache.evaluate`` path: the
+        same cache-key discipline, the same RNG consumption (a cache hit does
+        not advance the stream), the same statistics — just executed on the
+        service pool.  ``cache=None`` uses a throwaway cache (no cross-call
+        memory), matching the old behaviour of a fresh cache per tuning run.
+        """
+        resolved = self.resolve_solver(solver)
+        cache = cache if cache is not None else SolverCallCache()
+        key = cache.evaluation_key(problem, resolved, parameter, num_reads)
+        entry = cache.lookup(key)
+        if entry is not None:
+            return entry
+        rng = ensure_rng(rng)
+        pf, energy_mean, energy_std, best_fitness = self._pool().submit(
+            evaluate_parameter, problem, resolved, parameter, num_reads, rng
+        ).result()
+        entry = CachedEvaluation(
+            probability_of_feasibility=pf,
+            energy_mean=energy_mean,
+            energy_std=energy_std,
+            best_fitness=best_fitness,
+        )
+        cache.store(key, entry)
+        return entry
+
+
+_default_service: Optional[SolveService] = None
+_default_service_lock = threading.Lock()
+
+
+def default_service() -> SolveService:
+    """The process-wide service used by :func:`solve` and the experiment loops."""
+    global _default_service
+    with _default_service_lock:
+        if _default_service is None:
+            _default_service = SolveService()
+        return _default_service
+
+
+def solve(
+    problem_or_model: Union[QUBOModel, ConstrainedProblem],
+    solver: SolverLike = "sa",
+    num_reads: int = 1,
+    relaxation_parameter: Optional[float] = None,
+    seed: Optional[int] = None,
+    label: str = "",
+    **solver_options,
+) -> SolveResult:
+    """Solve a QUBO (or a problem at a relaxation parameter) in one call.
+
+    >>> result = solve(problem, solver="da", num_reads=64,
+    ...                relaxation_parameter=12.5, seed=0)
+    >>> result.best_energy
+
+    Solver options pass through to the registry:
+    ``solve(model, solver="sa", num_sweeps=2000)``.  Runs on the shared
+    default :class:`SolveService` (seeded duplicates are served from its
+    cache — they are deterministic, so the cached result is exact).
+    """
+    return default_service().solve(
+        problem_or_model,
+        solver=solver,
+        num_reads=num_reads,
+        relaxation_parameter=relaxation_parameter,
+        seed=seed,
+        label=label,
+        **solver_options,
+    )

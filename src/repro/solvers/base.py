@@ -22,12 +22,18 @@ from repro.utils.rng import RngLike, ensure_rng
 
 
 class QUBOSolver(abc.ABC):
-    """Abstract base class for stochastic QUBO solvers."""
+    """Abstract base class for stochastic QUBO solvers.
+
+    :meth:`sample` is a template method: it validates ``num_reads``, resolves
+    the RNG, times the call and packages the result, then delegates the actual
+    search to the backend's :meth:`_sample`.  Centralising the boilerplate
+    guarantees every backend validates and seeds identically — a backend can
+    no longer forget ``validate_reads`` or accept a raw seed inconsistently.
+    """
 
     #: Human-readable backend name used in sample sets and reports.
     name: str = "solver"
 
-    @abc.abstractmethod
     def sample(
         self,
         model: QUBOModel,
@@ -35,6 +41,27 @@ class QUBOSolver(abc.ABC):
         rng: RngLike = None,
     ) -> SampleSet:
         """Draw ``num_reads`` candidate assignments for ``model``."""
+        started_at = time.perf_counter()
+        num_reads = validate_reads(num_reads)
+        rng = ensure_rng(rng)
+        assignments, extra_info = self._sample(model, num_reads, rng)
+        return self._finalize(model, assignments, started_at, extra_info=extra_info)
+
+    @abc.abstractmethod
+    def _sample(
+        self,
+        model: QUBOModel,
+        num_reads: int,
+        rng: np.random.Generator,
+    ) -> tuple[np.ndarray, Optional[dict]]:
+        """Backend-specific search: return ``(assignments, extra_info)``.
+
+        ``num_reads`` is already validated and ``rng`` is a concrete generator.
+        ``assignments`` is a ``(num_reads, n)`` binary matrix; ``extra_info``
+        (or ``None``) is merged into the sample set's metadata.  Energies are
+        always recomputed against the exact ``model`` by the template, so a
+        backend that searched a perturbed model needs no special handling.
+        """
 
     def config_fingerprint(self) -> str:
         """Stable short hash identifying this solver's configuration.

@@ -18,18 +18,15 @@ All replicas (reads) are propagated together with numpy.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np
 
 from repro.qubo.model import QUBOModel
-from repro.qubo.sampleset import SampleSet
-from repro.solvers.base import QUBOSolver, validate_reads
+from repro.solvers.base import QUBOSolver
 from repro.solvers.engine import AnnealingState, metropolis_accept
 from repro.solvers.schedules import TemperatureSchedule, resolve_schedule
-from repro.utils.rng import RngLike, ensure_rng
 
 
 @dataclass(frozen=True)
@@ -76,10 +73,9 @@ class DigitalAnnealerSolver(QUBOSolver):
             return self.config.num_steps
         return self.config.steps_per_variable * num_variables
 
-    def sample(self, model: QUBOModel, num_reads: int = 1, rng: RngLike = None) -> SampleSet:
-        started_at = time.perf_counter()
-        num_reads = validate_reads(num_reads)
-        rng = ensure_rng(rng)
+    def _sample(
+        self, model: QUBOModel, num_reads: int, rng: np.random.Generator
+    ) -> tuple[np.ndarray, Optional[dict]]:
         n = model.num_variables
         num_steps = self._num_steps(n)
         schedule = resolve_schedule(model, self.config.schedule)
@@ -112,9 +108,4 @@ class DigitalAnnealerSolver(QUBOSolver):
             state.apply_single_flips(rows, cols, delta[rows, cols])
             state.update_best()
 
-        return self._finalize(
-            model,
-            state.best_X,
-            started_at,
-            extra_info={"num_steps": num_steps},
-        )
+        return state.best_X, {"num_steps": num_steps}

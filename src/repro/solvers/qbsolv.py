@@ -12,21 +12,25 @@ D-Wave's qbsolv (Booth, Reinhardt, Roy 2017) solves large QUBOs by repeatedly
 until a full pass over all windows yields no improvement.  The paper used
 qbsolv's classical simulator backend; this module implements the same
 decomposition loop on top of :class:`~repro.solvers.tabu.TabuSearchSolver`.
+
+Reads are independent restarts of the whole decomposition, so a batch of
+``num_reads > 1`` runs them concurrently on the shared service read pool
+(:mod:`repro.service.executor`).  Each read draws from its own child RNG
+stream spawned from the call's generator, which keeps seeded results
+independent of thread scheduling.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Optional
 
 import numpy as np
 
 from repro.qubo.model import QUBOModel
-from repro.qubo.sampleset import SampleSet
-from repro.solvers.base import QUBOSolver, validate_reads
+from repro.solvers.base import QUBOSolver
 from repro.solvers.tabu import TabuSearchConfig, TabuSearchSolver
-from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.rng import spawn_rngs
 
 
 @dataclass(frozen=True)
@@ -70,24 +74,43 @@ class QbsolvSolver(QUBOSolver):
         self.config = config or QbsolvConfig()
         self._subsolver = TabuSearchSolver(self.config.subsolver_config)
 
-    def sample(self, model: QUBOModel, num_reads: int = 1, rng: RngLike = None) -> SampleSet:
-        started_at = time.perf_counter()
-        num_reads = validate_reads(num_reads)
-        rng = ensure_rng(rng)
-        assignments = []
-        for _ in range(num_reads):
-            best_x: Optional[np.ndarray] = None
-            best_energy = np.inf
-            for _ in range(self.config.num_restarts):
-                x = self._solve_once(model, rng)
-                energy = model.energy(x)
-                if energy < best_energy:
-                    best_energy = energy
-                    best_x = x
-            assignments.append(best_x)
-        return self._finalize(model, np.array(assignments), started_at)
+    def _sample(
+        self, model: QUBOModel, num_reads: int, rng: np.random.Generator
+    ) -> tuple[np.ndarray, Optional[dict]]:
+        # One child stream per read: results are deterministic for a given
+        # seed whether the reads run serially or across the thread pool.
+        streams = spawn_rngs(rng, num_reads)
+        if num_reads == 1:
+            assignments = [self._solve_read(model, streams[0])]
+            workers = 1
+        else:
+            # Deferred import: repro.service imports the solver package to
+            # register backends, so binding at call time avoids the cycle.
+            from repro.service.executor import read_executor, read_worker_count
+
+            executor = read_executor()
+            if executor is None:
+                assignments = [self._solve_read(model, stream) for stream in streams]
+                workers = 1
+            else:
+                assignments = list(
+                    executor.map(lambda stream: self._solve_read(model, stream), streams)
+                )
+                workers = read_worker_count()
+        return np.array(assignments), {"read_workers": workers}
 
     # ------------------------------------------------------------------ internals
+    def _solve_read(self, model: QUBOModel, rng: np.random.Generator) -> np.ndarray:
+        """One read: the best of ``num_restarts`` full decomposition runs."""
+        best_x: Optional[np.ndarray] = None
+        best_energy = np.inf
+        for _ in range(self.config.num_restarts):
+            x = self._solve_once(model, rng)
+            energy = model.energy(x)
+            if energy < best_energy:
+                best_energy = energy
+                best_x = x
+        return best_x
     def _solve_once(self, model: QUBOModel, rng: np.random.Generator) -> np.ndarray:
         n = model.num_variables
         Q = np.asarray(model.Q)

@@ -13,16 +13,15 @@ problem falls below the error floor and the solutions drift away from optimal
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Optional
 
+import numpy as np
+
 from repro.qubo.model import QUBOModel
 from repro.qubo.precision import AnalogNoiseModel, QuantizationModel
-from repro.qubo.sampleset import SampleSet
-from repro.solvers.base import QUBOSolver, validate_reads
+from repro.solvers.base import QUBOSolver
 from repro.solvers.simulated_annealing import SimulatedAnnealingConfig, SimulatedAnnealingSolver
-from repro.utils.rng import RngLike, ensure_rng
 
 
 @dataclass(frozen=True)
@@ -53,21 +52,15 @@ class QuantumAnnealerSolver(QUBOSolver):
         self.config = config or QuantumAnnealerConfig()
         self._base = SimulatedAnnealingSolver(self.config.base_config)
 
-    def sample(self, model: QUBOModel, num_reads: int = 1, rng: RngLike = None) -> SampleSet:
-        started_at = time.perf_counter()
-        num_reads = validate_reads(num_reads)
-        rng = ensure_rng(rng)
+    def _sample(
+        self, model: QUBOModel, num_reads: int, rng: np.random.Generator
+    ) -> tuple[np.ndarray, Optional[dict]]:
         perturbed = self.config.noise.perturb(model, rng=rng)
         if self.config.quantization is not None:
             perturbed = self.config.quantization.quantize(perturbed)
         raw = self._base.sample(perturbed, num_reads=num_reads, rng=rng)
-        # Re-score the assignments against the exact model.
-        return self._finalize(
-            model,
-            raw.assignments,
-            started_at,
-            extra_info={
-                "relative_error": self.config.noise.relative_error,
-                "absolute_error": self.config.noise.absolute_error,
-            },
-        )
+        # The template re-scores the assignments against the exact model.
+        return raw.assignments, {
+            "relative_error": self.config.noise.relative_error,
+            "absolute_error": self.config.noise.absolute_error,
+        }

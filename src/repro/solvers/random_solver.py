@@ -6,12 +6,12 @@ data when exercising the surrogate pipeline without paying for annealing.
 
 from __future__ import annotations
 
-import time
+from typing import Optional
+
+import numpy as np
 
 from repro.qubo.model import QUBOModel
-from repro.qubo.sampleset import SampleSet
-from repro.solvers.base import QUBOSolver, validate_reads
-from repro.utils.rng import RngLike, ensure_rng
+from repro.solvers.base import QUBOSolver
 
 
 class RandomSolver(QUBOSolver):
@@ -19,9 +19,7 @@ class RandomSolver(QUBOSolver):
 
     name = "random"
 
-    def sample(self, model: QUBOModel, num_reads: int = 1, rng: RngLike = None) -> SampleSet:
-        started_at = time.perf_counter()
-        num_reads = validate_reads(num_reads)
-        rng = ensure_rng(rng)
-        states = self._random_states(num_reads, model.num_variables, rng)
-        return self._finalize(model, states, started_at)
+    def _sample(
+        self, model: QUBOModel, num_reads: int, rng: np.random.Generator
+    ) -> tuple[np.ndarray, Optional[dict]]:
+        return self._random_states(num_reads, model.num_variables, rng), None

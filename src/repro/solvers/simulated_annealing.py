@@ -20,16 +20,15 @@ final state of the walk.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Optional
 
+import numpy as np
+
 from repro.qubo.model import QUBOModel
-from repro.qubo.sampleset import SampleSet
-from repro.solvers.base import QUBOSolver, validate_reads
+from repro.solvers.base import QUBOSolver
 from repro.solvers.engine import AnnealingState, default_block_size, metropolis_accept
 from repro.solvers.schedules import TemperatureSchedule, resolve_schedule
-from repro.utils.rng import RngLike, ensure_rng
 
 
 @dataclass(frozen=True)
@@ -68,10 +67,9 @@ class SimulatedAnnealingSolver(QUBOSolver):
     def __init__(self, config: SimulatedAnnealingConfig | None = None) -> None:
         self.config = config or SimulatedAnnealingConfig()
 
-    def sample(self, model: QUBOModel, num_reads: int = 1, rng: RngLike = None) -> SampleSet:
-        started_at = time.perf_counter()
-        num_reads = validate_reads(num_reads)
-        rng = ensure_rng(rng)
+    def _sample(
+        self, model: QUBOModel, num_reads: int, rng: np.random.Generator
+    ) -> tuple[np.ndarray, Optional[dict]]:
         n = model.num_variables
         schedule = resolve_schedule(model, self.config.schedule)
         temperatures = schedule(self.config.num_sweeps)
@@ -91,9 +89,4 @@ class SimulatedAnnealingSolver(QUBOSolver):
             state.refresh_energies()
             state.update_best()
 
-        return self._finalize(
-            model,
-            state.best_X,
-            started_at,
-            extra_info={"num_sweeps": self.config.num_sweeps, "block_size": block},
-        )
+        return state.best_X, {"num_sweeps": self.config.num_sweeps, "block_size": block}

@@ -16,14 +16,13 @@ local-field update — so the wall time of a batch grows far slower than
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 
 from repro.qubo.model import QUBOModel
-from repro.qubo.sampleset import SampleSet
-from repro.solvers.base import QUBOSolver, validate_reads
+from repro.solvers.base import QUBOSolver
 from repro.solvers.engine import AnnealingState
 from repro.utils.rng import RngLike, ensure_rng
 
@@ -64,13 +63,12 @@ class TabuSearchSolver(QUBOSolver):
     def __init__(self, config: TabuSearchConfig | None = None) -> None:
         self.config = config or TabuSearchConfig()
 
-    def sample(self, model: QUBOModel, num_reads: int = 1, rng: RngLike = None) -> SampleSet:
-        started_at = time.perf_counter()
-        num_reads = validate_reads(num_reads)
-        rng = ensure_rng(rng)
+    def _sample(
+        self, model: QUBOModel, num_reads: int, rng: np.random.Generator
+    ) -> tuple[np.ndarray, Optional[dict]]:
         state = AnnealingState(model, num_reads, rng=rng)
         self._search(state, rng)
-        return self._finalize(model, state.best_X, started_at)
+        return state.best_X, None
 
     # ------------------------------------------------------------------ internals
     def _search(self, state: AnnealingState, rng: np.random.Generator) -> None:
