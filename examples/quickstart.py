@@ -39,8 +39,10 @@ def main() -> None:
     print(f"training instances: {len(datasets.train_problems)}, new instance: {new_problem.name}")
 
     # 0. One call through the solve service: solver spec, reads, seed, done.
+    # The relaxed QUBO H_B + A*H_A is composed lazily from the problem's
+    # cached sparse-first encoding, on a service worker.
     result = repro.solve(
-        new_problem,
+        problem=new_problem,
         solver="sa",
         num_sweeps=profile.sa_num_sweeps,
         relaxation_parameter=new_problem.relaxation_scale(),

@@ -18,9 +18,15 @@ Solving a QUBO is one call through the solve service::
 
     import repro
 
-    result = repro.solve(problem, solver="da", num_reads=64,
+    result = repro.solve(problem=problem, solver="da", num_reads=64,
                          relaxation_parameter=12.5, seed=0)
     print(result.best_energy)
+
+Problems encode sparse-first: ``problem.encode()`` caches a frozen
+:class:`repro.RelaxedEncoding` (``H_B``, ``H_A``) built through
+:class:`repro.QUBOAccumulator`, and the relaxed ``H_B + A * H_A`` is composed
+lazily — large sparse instances (e.g. MVC on a 5000-vertex graph) never touch
+a dense ``n x n`` array.
 
 Solvers are constructed from registry specs (``"sa"``, ``"tabu?tenure=16"``,
 ``repro.make_solver("sa", num_sweeps=2000)``); batched and asynchronous
@@ -44,7 +50,7 @@ from repro.core.surrogate import SolverSurrogate, SurrogateConfig
 from repro.core.tuner import QROSSTuner
 from repro.problems.mvc import MVCInstance, MVCProblem
 from repro.problems.tsp import TSPInstance, TSPProblem
-from repro.qubo import QUBOModel
+from repro.qubo import QUBOAccumulator, QUBOModel, RelaxedEncoding
 from repro.service import (
     SolveRequest,
     SolveResult,
@@ -72,6 +78,8 @@ __version__ = "1.0.0"
 __all__ = [
     "__version__",
     "QUBOModel",
+    "QUBOAccumulator",
+    "RelaxedEncoding",
     "solve",
     "make_solver",
     "SolverRegistry",

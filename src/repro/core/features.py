@@ -181,6 +181,34 @@ class GraphEncoderExtractor(FeatureExtractor):
         return self._encoder.encode(problem.instance.distances)
 
 
+def _scaled_matrix_stats(model, scale: float) -> tuple[float, float, float, float]:
+    """``(abs_mean, std, density, diag_mean)`` of ``Q / scale``, storage-aware.
+
+    Sparse-stored models are summarised from their CSR data (zero entries
+    contribute zero to every moment) without densifying; dense models keep the
+    historical dense code path bit for bit.
+    """
+    if model.is_sparse:
+        Q = model.sparse_Q()
+        size = float(Q.shape[0] * Q.shape[1])
+        data = np.asarray(Q.data, dtype=np.float64) / scale
+        mean = float(data.sum()) / size
+        second_moment = float(np.square(data).sum()) / size
+        return (
+            float(np.abs(data).sum()) / size,
+            float(np.sqrt(max(second_moment - mean**2, 0.0))),
+            float(Q.nnz) / size,
+            float(np.asarray(Q.diagonal()).mean()) / scale,
+        )
+    M = np.asarray(model.Q) / scale
+    return (
+        float(np.abs(M).mean()),
+        float(M.std()),
+        float(np.count_nonzero(M)) / M.size,
+        float(np.diag(M).mean()),
+    )
+
+
 class QuboStatisticsExtractor(FeatureExtractor):
     """Problem-agnostic features derived from the objective and penalty QUBOs."""
 
@@ -191,26 +219,28 @@ class QuboStatisticsExtractor(FeatureExtractor):
         return self._NUM_FEATURES
 
     def extract(self, problem: ConstrainedProblem) -> np.ndarray:
-        builder = problem.builder()
-        objective = np.asarray(builder.objective.Q)
-        penalty = np.asarray(builder.penalty.Q)
+        encoding = problem.encode()
         n = problem.num_qubo_variables
-        obj_scale = float(np.abs(objective).max(initial=1.0)) or 1.0
-        pen_scale = float(np.abs(penalty).max(initial=1.0)) or 1.0
-        obj = objective / obj_scale
-        pen = penalty / pen_scale
+        obj_scale = max(encoding.objective.max_abs_coefficient(), 1.0)
+        pen_scale = max(encoding.penalty.max_abs_coefficient(), 1.0)
+        obj_abs_mean, obj_std, obj_density, obj_diag_mean = _scaled_matrix_stats(
+            encoding.objective, obj_scale
+        )
+        pen_abs_mean, pen_std, pen_density, pen_diag_mean = _scaled_matrix_stats(
+            encoding.penalty, pen_scale
+        )
         return np.array(
             [
                 float(n),
                 float(np.log(n)),
-                float(np.abs(obj).mean()),
-                float(obj.std()),
-                float(np.count_nonzero(obj)) / obj.size,
-                float(np.diag(obj).mean()),
-                float(np.abs(pen).mean()),
-                float(pen.std()),
-                float(np.count_nonzero(pen)) / pen.size,
-                float(np.diag(pen).mean()),
+                obj_abs_mean,
+                obj_std,
+                obj_density,
+                obj_diag_mean,
+                pen_abs_mean,
+                pen_std,
+                pen_density,
+                pen_diag_mean,
                 obj_scale / (pen_scale + 1e-12),
                 float(problem.relaxation_scale()),
             ]

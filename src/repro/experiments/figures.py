@@ -241,7 +241,7 @@ class Figure6Result:
 def figure6_mvc_penalty(
     profile: ExperimentProfile | None = None,
     penalty_weights: Sequence[float] = (1.0, 3.0, 10.0, 30.0, 100.0, 300.0, 1000.0, 3000.0, 10000.0),
-    num_vertices: int = 65,
+    num_vertices: int | None = None,
     num_runs: int = 4,
     rng: RngLike = None,
 ) -> Figure6Result:
@@ -253,6 +253,8 @@ def figure6_mvc_penalty(
     best energy discovered across the whole run, as in the paper.
     """
     profile = profile or resolve_profile()
+    if num_vertices is None:
+        num_vertices = profile.mvc_num_vertices
     rng = ensure_rng(rng if rng is not None else profile.seed + 6)
     weights = np.asarray(penalty_weights, dtype=np.float64)
     if np.any(weights <= 0):
@@ -272,7 +274,11 @@ def figure6_mvc_penalty(
 
     for _ in range(num_runs):
         instance = generate_mvc_instance(
-            RandomMVCConfig(num_vertices=num_vertices, edge_probability=0.5), rng=rng
+            RandomMVCConfig(
+                num_vertices=num_vertices,
+                edge_probability=profile.mvc_edge_probability,
+            ),
+            rng=rng,
         )
         problem = MVCProblem(instance)
         for name, solver in solvers.items():

@@ -48,6 +48,9 @@ class ExperimentProfile:
     surrogate_epochs: int
     coarse_multipliers: tuple[float, ...] = (0.1, 0.25, 0.4, 0.6, 0.8, 1.0, 1.25, 1.6, 2.2, 3.0)
     num_refinement_points: int = 6
+    # MVC workload sizing (Appendix B study and the sparse-encoding path).
+    mvc_num_vertices: int = 24
+    mvc_edge_probability: float = 0.5
     # Reproducibility.
     seed: int = 2021
 
@@ -93,6 +96,7 @@ SMOKE = ExperimentProfile(
     surrogate_epochs=250,
     coarse_multipliers=(0.1, 0.3, 0.5, 0.7, 0.9, 1.2, 1.8, 2.6),
     num_refinement_points=4,
+    mvc_num_vertices=24,
 )
 
 SMALL = ExperimentProfile(
@@ -109,6 +113,7 @@ SMALL = ExperimentProfile(
     qbsolv_tabu_steps=160,
     num_trials=20,
     surrogate_epochs=250,
+    mvc_num_vertices=48,
 )
 
 PAPER = ExperimentProfile(
@@ -125,6 +130,7 @@ PAPER = ExperimentProfile(
     qbsolv_tabu_steps=300,
     num_trials=20,
     surrogate_epochs=400,
+    mvc_num_vertices=65,
 )
 
 _PROFILES = {profile.name: profile for profile in (SMOKE, SMALL, PAPER)}

@@ -2,13 +2,18 @@
 
 A :class:`ConstrainedProblem` bundles three things:
 
-* how to build the relaxed QUBO ``H_B + A * H_A`` for a relaxation parameter ``A``,
+* how to *encode* itself as a frozen :class:`~repro.qubo.expression.RelaxedEncoding`
+  (the pair ``H_B``, ``H_A``) from which the relaxed QUBO ``H_B + A * H_A`` is
+  composed lazily for any relaxation parameter ``A``,
 * how to check feasibility of a raw binary assignment returned by a solver, and
 * how to score a feasible assignment with the *original* objective ("fitness").
 
 QROSS, the baseline tuners and the experiment harness only talk to this
 interface, so adding a new problem class (the paper mentions QAP, vehicle
-routing, resource allocation) only requires implementing it.
+routing, resource allocation) only requires implementing it.  Subclasses
+implement :meth:`_encode` (preferred — build the objective and penalty through
+a :class:`~repro.qubo.expression.QUBOAccumulator` so large sparse instances
+never densify) or, for backwards compatibility, override :meth:`builder`.
 """
 
 from __future__ import annotations
@@ -19,6 +24,7 @@ from typing import Optional
 import numpy as np
 
 from repro.qubo.builder import PenaltyQUBOBuilder
+from repro.qubo.expression import RelaxedEncoding
 from repro.qubo.model import QUBOModel
 
 
@@ -34,13 +40,43 @@ class ConstrainedProblem(abc.ABC):
     def num_qubo_variables(self) -> int:
         """Number of binary variables of the relaxed QUBO."""
 
-    @abc.abstractmethod
+    def encode(self) -> RelaxedEncoding:
+        """The cached ``(H_B, H_A)`` encoding of this instance.
+
+        Built once on first use via :meth:`_encode`; every relaxation, solver
+        call and feature extraction shares the same encoding, and the service
+        keys request batching on its fingerprint without materialising any
+        relaxed model.
+        """
+        cached = getattr(self, "_cached_encoding", None)
+        if cached is None:
+            cached = self._encode()
+            self._cached_encoding = cached
+        return cached
+
+    def _encode(self) -> RelaxedEncoding:
+        """Build the encoding.  Default: adapt a legacy :meth:`builder` override."""
+        if type(self).builder is ConstrainedProblem.builder:
+            raise NotImplementedError(
+                f"{type(self).__name__} must implement _encode() (or the legacy builder())"
+            )
+        return self.builder().encoding
+
     def builder(self) -> PenaltyQUBOBuilder:
-        """Penalty builder combining the objective and constraint QUBOs."""
+        """Penalty builder combining the objective and constraint QUBOs.
+
+        Kept for backwards compatibility; derived from :meth:`encode` (and
+        cached alongside it) unless a subclass still overrides it directly.
+        """
+        cached = getattr(self, "_cached_builder", None)
+        if cached is None:
+            cached = PenaltyQUBOBuilder.from_encoding(self.encode())
+            self._cached_builder = cached
+        return cached
 
     def build_qubo(self, relaxation_parameter: float) -> QUBOModel:
-        """Relaxed QUBO ``H_B + A * H_A`` for the given parameter."""
-        return self.builder().build(relaxation_parameter)
+        """Relaxed QUBO ``H_B + A * H_A`` for the given parameter (lazily cached)."""
+        return self.encode().relax(relaxation_parameter)
 
     # ------------------------------------------------------------- solutions
     @abc.abstractmethod

@@ -1,6 +1,11 @@
 """Minimum Vertex Cover substrate (paper Appendix B)."""
 
-from repro.problems.mvc.generator import RandomMVCConfig, generate_mvc_dataset, generate_mvc_instance
+from repro.problems.mvc.generator import (
+    RandomMVCConfig,
+    generate_mvc_dataset,
+    generate_mvc_instance,
+    generate_sparse_mvc_instance,
+)
 from repro.problems.mvc.heuristics import (
     best_known_cover_weight,
     exact_minimum_cover,
@@ -16,6 +21,7 @@ __all__ = [
     "RandomMVCConfig",
     "generate_mvc_instance",
     "generate_mvc_dataset",
+    "generate_sparse_mvc_instance",
     "greedy_weighted_cover",
     "prune_cover",
     "exact_minimum_cover",

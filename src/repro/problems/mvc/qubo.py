@@ -5,6 +5,11 @@ where ``sigma`` is the penalty weight.  Any ``sigma > max_i w_i`` makes every
 optimal QUBO solution a feasible cover in exact arithmetic; Appendix B shows
 that on real (noisy / finite-precision) solvers, pushing ``sigma`` far beyond
 that threshold degrades solution quality — which is what Fig. 6 measures.
+
+Both the objective and the penalty are accumulated as COO triplets (one
+vectorised append per term family, no Python loop over edges) and the storage
+backend is chosen per matrix, so a large sparse graph encodes straight to CSR
+without ever allocating a dense ``n x n`` array.
 """
 
 from __future__ import annotations
@@ -15,45 +20,59 @@ import numpy as np
 
 from repro.problems.base import ConstrainedProblem
 from repro.problems.mvc.instance import MVCInstance
-from repro.qubo.builder import PenaltyQUBOBuilder
-from repro.qubo.model import QUBOModel
+from repro.qubo.expression import QUBOAccumulator, RelaxedEncoding
 
 
 class MVCProblem(ConstrainedProblem):
-    """Penalty-relaxed QUBO view of a weighted MVC instance."""
+    """Penalty-relaxed QUBO view of a weighted MVC instance.
 
-    def __init__(self, instance: MVCInstance) -> None:
+    Parameters
+    ----------
+    instance:
+        The MVC instance to relax.
+    storage:
+        Coefficient storage of the encoded QUBOs: ``"auto"`` (default) keeps
+        CSR inside the sparse backend regime and densifies small instances,
+        ``"sparse"`` / ``"dense"`` force a backend (used by the parity tests).
+    """
+
+    def __init__(self, instance: MVCInstance, storage: str = "auto") -> None:
+        if storage not in ("auto", "dense", "sparse"):
+            raise ValueError(f"unknown storage {storage!r}")
         self.instance = instance
         self.name = instance.name
-        self._builder: Optional[PenaltyQUBOBuilder] = None
+        self.storage = storage
 
     # ------------------------------------------------------------------ QUBO
     @property
     def num_qubo_variables(self) -> int:
         return self.instance.num_vertices
 
-    def builder(self) -> PenaltyQUBOBuilder:
-        if self._builder is None:
-            self._builder = PenaltyQUBOBuilder(self._objective_qubo(), self._penalty_qubo())
-        return self._builder
-
-    def _objective_qubo(self) -> QUBOModel:
-        """``sum_i w_i x_i`` on the diagonal."""
-        Q = np.diag(self.instance.weights.astype(np.float64))
-        return QUBOModel(Q, name=f"{self.name}-objective")
-
-    def _penalty_qubo(self) -> QUBOModel:
-        """``sum_{(i,j) in E} (1 - x_i - x_j + x_i x_j)``: zero iff every edge is covered."""
+    def _encode(self) -> RelaxedEncoding:
         n = self.instance.num_vertices
-        Q = np.zeros((n, n))
+        weights = np.asarray(self.instance.weights, dtype=np.float64)
         edges = self.instance.edges()
-        offset = float(edges.shape[0])
-        for i, j in edges:
-            Q[i, i] -= 1.0
-            Q[j, j] -= 1.0
-            Q[i, j] += 0.5
-            Q[j, i] += 0.5
-        return QUBOModel(Q, offset=offset, name=f"{self.name}-penalty")
+
+        # Objective ``sum_i w_i x_i`` on the diagonal.
+        objective = (
+            QUBOAccumulator(n)
+            .add_linear(np.arange(n), weights)
+            .build(name=f"{self.name}-objective", storage=self.storage)
+        )
+
+        # Penalty ``sum_{(i,j) in E} (1 - x_i - x_j + x_i x_j)``: zero iff
+        # every edge is covered.  One vectorised append per term family.
+        accumulator = QUBOAccumulator(n)
+        if edges.size:
+            accumulator.add_linear(edges[:, 0], -1.0)
+            accumulator.add_linear(edges[:, 1], -1.0)
+            accumulator.add_quadratic(edges[:, 0], edges[:, 1], 1.0)
+        penalty = accumulator.build(
+            offset=float(edges.shape[0]),
+            name=f"{self.name}-penalty",
+            storage=self.storage,
+        )
+        return RelaxedEncoding(objective=objective, penalty=penalty, name=self.name)
 
     # ------------------------------------------------------------- solutions
     def is_feasible(self, assignment: np.ndarray) -> bool:

@@ -9,6 +9,11 @@ is visited at position ``j``").  The relaxed QUBO is ``H_B + A * H_A`` with
 
 where position indices wrap around (``j + 1`` is taken modulo ``n``).
 Variable ``x[v, j]`` is flattened to index ``v * n + j``.
+
+``H_B`` is accumulated as COO triplets (no ``n^2 x n^2`` Kronecker product)
+and the permutation constraints are built as a sparse ``C`` whose penalty
+``C^T C`` is computed sparsely — a TSP instance encodes in ``O(n^3)`` memory
+instead of ``O(n^4)``.
 """
 
 from __future__ import annotations
@@ -20,17 +25,28 @@ import numpy as np
 from repro.problems.base import ConstrainedProblem
 from repro.problems.tsp.instance import TSPInstance
 from repro.problems.tsp.preprocessing import MVODMResult, minimise_distance_variance
-from repro.qubo.builder import LinearConstraints, PenaltyQUBOBuilder
+from repro.qubo.builder import LinearConstraints
+from repro.qubo.expression import QUBOAccumulator, RelaxedEncoding
 from repro.qubo.model import QUBOModel
+
+from repro.utils.sparse import scipy_sparse as _sparse
 
 
 def decode_assignment(assignment: np.ndarray, num_cities: int) -> Optional[np.ndarray]:
     """Decode a flat binary assignment into a tour, or ``None`` if infeasible.
 
     The assignment is feasible when every city occupies exactly one position
-    and every position holds exactly one city (a permutation matrix).
+    and every position holds exactly one city (a permutation matrix).  Raises
+    ``ValueError`` on a wrong-length or non-binary assignment.
     """
-    x = np.asarray(assignment).reshape(num_cities, num_cities)
+    assignment = np.asarray(assignment)
+    expected = num_cities * num_cities
+    if assignment.size != expected:
+        raise ValueError(
+            f"assignment must have num_cities**2 = {expected} entries "
+            f"(one per city/position pair), got {assignment.size}"
+        )
+    x = assignment.reshape(num_cities, num_cities)
     if not np.all((x == 0) | (x == 1)):
         raise ValueError("assignment must be binary")
     if not np.all(x.sum(axis=0) == 1) or not np.all(x.sum(axis=1) == 1):
@@ -60,19 +76,30 @@ class TSPProblem(ConstrainedProblem):
         Apply Minimising-the-Variance-Of-the-Distance-Matrix preprocessing
         (paper Appendix E) before building ``H_B``.  Fitness values are always
         reported against the *original* distances.
+    storage:
+        Coefficient storage of the encoded QUBOs: ``"auto"`` (default) keeps
+        CSR inside the sparse backend regime and densifies everything else,
+        ``"sparse"`` / ``"dense"`` force a backend.
     """
 
-    def __init__(self, instance: TSPInstance, use_mvodm_preprocessing: bool = False) -> None:
+    def __init__(
+        self,
+        instance: TSPInstance,
+        use_mvodm_preprocessing: bool = False,
+        storage: str = "auto",
+    ) -> None:
+        if storage not in ("auto", "dense", "sparse"):
+            raise ValueError(f"unknown storage {storage!r}")
         self.instance = instance
         self.name = instance.name
         self.use_mvodm_preprocessing = use_mvodm_preprocessing
+        self.storage = storage
         self._mvodm: Optional[MVODMResult] = None
         working = instance
         if use_mvodm_preprocessing:
             self._mvodm = minimise_distance_variance(instance)
             working = self._mvodm.transformed_instance
         self._working_instance = working
-        self._builder: Optional[PenaltyQUBOBuilder] = None
 
     # ------------------------------------------------------------------ QUBO
     @property
@@ -83,32 +110,46 @@ class TSPProblem(ConstrainedProblem):
     def num_qubo_variables(self) -> int:
         return self.num_cities**2
 
-    def builder(self) -> PenaltyQUBOBuilder:
-        if self._builder is None:
-            objective = self._objective_qubo()
-            constraints = self._constraints()
-            self._builder = PenaltyQUBOBuilder(objective, constraints)
-        return self._builder
+    def _encode(self) -> RelaxedEncoding:
+        objective = self._objective_qubo()
+        penalty = self._constraints().penalty_qubo(storage=self.storage)
+        return RelaxedEncoding(objective=objective, penalty=penalty, name=self.name)
 
     def _objective_qubo(self) -> QUBOModel:
-        """``H_B`` as a Kronecker product of the distance matrix and a cyclic shift."""
+        """``H_B``: one COO triplet per ``(u, v, position)``, no Kronecker product."""
         n = self.num_cities
-        distances = np.asarray(self._working_instance.distances)
-        shift = np.zeros((n, n))
-        shift[np.arange(n), (np.arange(n) + 1) % n] = 1.0
-        Q = np.kron(distances, shift)
-        return QUBOModel(Q, name=f"{self.name}-objective")
+        distances = np.asarray(self._working_instance.distances, dtype=np.float64)
+        u, v = np.nonzero(distances)
+        positions = np.arange(n, dtype=np.int64)
+        rows = (u[:, None] * n + positions[None, :]).ravel()
+        cols = (v[:, None] * n + (positions[None, :] + 1) % n).ravel()
+        vals = np.repeat(distances[u, v], n)
+        accumulator = QUBOAccumulator(n * n).add_quadratic(rows, cols, vals)
+        return accumulator.build(name=f"{self.name}-objective", storage=self.storage)
 
     def _constraints(self) -> LinearConstraints:
-        """Permutation constraints: each city once, each position once."""
+        """Permutation constraints: each city once, each position once.
+
+        Built directly in sparse COO form when scipy is available — ``C`` is
+        ``2n x n^2`` with ``2 n^2`` ones (each variable appears in exactly two
+        constraints).
+        """
         n = self.num_cities
-        C = np.zeros((2 * n, n * n))
-        for v in range(n):
-            C[v, v * n : (v + 1) * n] = 1.0  # city v appears at exactly one position
-        for j in range(n):
-            C[n + j, j::n] = 1.0  # position j holds exactly one city
-        d = np.ones(2 * n)
-        return LinearConstraints(C=C, d=d)
+        if _sparse is None:
+            C = np.zeros((2 * n, n * n))
+            for v in range(n):
+                C[v, v * n : (v + 1) * n] = 1.0  # city v at exactly one position
+            for j in range(n):
+                C[n + j, j::n] = 1.0  # position j holds exactly one city
+            return LinearConstraints(C=C, d=np.ones(2 * n))
+        variables = np.arange(n * n, dtype=np.int64)
+        city_rows = variables // n  # constraint row v covers x[v, :]
+        position_rows = n + variables % n  # constraint row n + j covers x[:, j]
+        rows = np.concatenate([city_rows, position_rows])
+        cols = np.concatenate([variables, variables])
+        data = np.ones(rows.shape[0], dtype=np.float64)
+        C = _sparse.coo_array((data, (rows, cols)), shape=(2 * n, n * n)).tocsr()
+        return LinearConstraints(C=C, d=np.ones(2 * n))
 
     # ------------------------------------------------------------- solutions
     def decode(self, assignment: np.ndarray) -> Optional[np.ndarray]:

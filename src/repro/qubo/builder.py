@@ -9,7 +9,10 @@ The paper's starting point is the relaxation
     \\min_{x \\in \\{0,1\\}^n} x^T Q x + A \\, \\lVert Cx - d \\rVert^2
 
 where ``A`` is the relaxation (penalty) parameter QROSS tunes.  This module
-provides that conversion for arbitrary linear equality constraints, plus a
+provides that conversion for arbitrary linear equality constraints — sparse
+first: ``C`` may be a scipy sparse matrix, the penalty ``C^T C`` is computed
+sparsely and coalesced through a :class:`~repro.qubo.expression.QUBOAccumulator`,
+so large constraint systems never materialise a dense ``n x n`` array — plus a
 small helper for inequality constraints via slack variables.
 """
 
@@ -20,26 +23,40 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from repro.qubo.expression import QUBOAccumulator, RelaxedEncoding
 from repro.qubo.model import QUBOModel
-from repro.utils.validation import check_positive
+
+from repro.utils.sparse import scipy_sparse as _sparse
 
 
 @dataclass(frozen=True)
 class LinearConstraints:
-    """Equality constraints ``C x = d`` over binary variables."""
+    """Equality constraints ``C x = d`` over binary variables.
+
+    ``C`` may be a dense ndarray or any scipy sparse matrix (stored as CSR);
+    every method works on both representations.
+    """
 
     C: np.ndarray
     d: np.ndarray
 
     def __post_init__(self) -> None:
-        C = np.asarray(self.C, dtype=np.float64)
-        d = np.asarray(self.d, dtype=np.float64)
+        C = self.C
+        if _sparse is not None and _sparse.issparse(C):
+            C = _sparse.csr_array(C).astype(np.float64)
+        else:
+            C = np.asarray(C, dtype=np.float64)
         if C.ndim != 2:
             raise ValueError(f"C must be 2-D, got shape {C.shape}")
+        d = np.asarray(self.d, dtype=np.float64)
         if d.shape != (C.shape[0],):
             raise ValueError(f"d must have shape ({C.shape[0]},), got {d.shape}")
         object.__setattr__(self, "C", C)
         object.__setattr__(self, "d", d)
+
+    @property
+    def is_sparse(self) -> bool:
+        return _sparse is not None and _sparse.issparse(self.C)
 
     @property
     def num_constraints(self) -> int:
@@ -59,21 +76,41 @@ class LinearConstraints:
         """Whether ``x`` satisfies every constraint within ``tol``."""
         return self.violation(x) <= tol
 
-    def penalty_qubo(self) -> QUBOModel:
+    def penalty_qubo(self, storage: str = "auto") -> QUBOModel:
         """QUBO whose energy equals ``||Cx - d||^2`` for binary ``x``.
 
         Expanding the norm gives ``x^T (C^T C) x - 2 d^T C x + d^T d``; the
         linear part is folded onto the diagonal because ``x_i^2 = x_i``.
+        ``C^T C`` is computed sparsely (scipy spGEMM) and coalesced through a
+        :class:`QUBOAccumulator`; ``storage`` picks the result backend
+        (``"auto"`` keeps CSR only inside the sparse backend regime).
         """
-        CtC = self.C.T @ self.C
-        linear = -2.0 * (self.d @ self.C)
-        Q = CtC.copy()
-        Q[np.diag_indices_from(Q)] += linear
-        return QUBOModel(Q, offset=float(self.d @ self.d), name="penalty")
+        n = self.num_variables
+        if _sparse is None:
+            # Dense fallback when scipy is unavailable.
+            CtC = self.C.T @ self.C
+            linear = -2.0 * (self.d @ self.C)
+            Q = CtC.copy()
+            Q[np.diag_indices_from(Q)] += linear
+            return QUBOModel(Q, offset=float(self.d @ self.d), name="penalty")
+        C = self.C if self.is_sparse else _sparse.csr_array(np.asarray(self.C))
+        CtC = (C.T @ C).tocoo()
+        linear = np.asarray(-2.0 * (self.d @ C))
+        accumulator = QUBOAccumulator(n)
+        accumulator.add_quadratic(CtC.coords[0], CtC.coords[1], CtC.data)
+        nonzero = np.nonzero(linear)[0]
+        accumulator.add_linear(nonzero, linear[nonzero])
+        accumulator.add_constant(float(self.d @ self.d))
+        return accumulator.build(name="penalty", storage=storage)
 
 
 class PenaltyQUBOBuilder:
     """Combine an objective QUBO with constraint penalties scaled by ``A``.
+
+    A thin compatibility wrapper over :class:`~repro.qubo.expression.RelaxedEncoding`:
+    the builder owns an encoding and :meth:`build` delegates to
+    :meth:`RelaxedEncoding.relax`, which composes ``H_B + A * H_A``
+    storage-preservingly and caches the most recent relaxed models.
 
     Parameters
     ----------
@@ -88,7 +125,6 @@ class PenaltyQUBOBuilder:
         objective: QUBOModel,
         constraints: LinearConstraints | QUBOModel,
     ) -> None:
-        self._objective = objective
         if isinstance(constraints, LinearConstraints):
             if constraints.num_variables != objective.num_variables:
                 raise ValueError(
@@ -96,39 +132,52 @@ class PenaltyQUBOBuilder:
                     f"({constraints.num_variables} vs {objective.num_variables})"
                 )
             self._constraints: Optional[LinearConstraints] = constraints
-            self._penalty = constraints.penalty_qubo()
+            penalty = constraints.penalty_qubo()
         else:
             if constraints.num_variables != objective.num_variables:
                 raise ValueError("penalty QUBO size does not match the objective")
             self._constraints = None
-            self._penalty = constraints
+            penalty = constraints
+        self._encoding = RelaxedEncoding(
+            objective=objective, penalty=penalty, name=objective.name or "relaxed"
+        )
+
+    @classmethod
+    def from_encoding(cls, encoding: RelaxedEncoding) -> "PenaltyQUBOBuilder":
+        """Wrap an existing encoding (shares its per-parameter relaxation cache)."""
+        builder = cls.__new__(cls)
+        builder._constraints = None
+        builder._encoding = encoding
+        return builder
+
+    @property
+    def encoding(self) -> RelaxedEncoding:
+        """The frozen ``(objective, penalty)`` encoding behind this builder."""
+        return self._encoding
 
     @property
     def objective(self) -> QUBOModel:
-        return self._objective
+        return self._encoding.objective
 
     @property
     def penalty(self) -> QUBOModel:
-        return self._penalty
+        return self._encoding.penalty
 
     def build(self, relaxation_parameter: float) -> QUBOModel:
         """Return ``objective + A * penalty`` for the given relaxation parameter."""
-        A = check_positive(relaxation_parameter, "relaxation_parameter")
-        combined = self._objective + self._penalty.scaled(A)
-        combined.name = self._objective.name or "relaxed"
-        return combined
+        return self._encoding.relax(relaxation_parameter)
 
     def objective_energy(self, x: np.ndarray) -> float:
         """Original objective value of an assignment (independent of ``A``)."""
-        return self._objective.energy(x)
+        return self._encoding.objective_energy(x)
 
     def penalty_energy(self, x: np.ndarray) -> float:
         """Constraint-violation energy of an assignment (independent of ``A``)."""
-        return self._penalty.energy(x)
+        return self._encoding.penalty_energy(x)
 
     def is_feasible(self, x: np.ndarray, tol: float = 1e-6) -> bool:
         """Whether an assignment satisfies the constraints (penalty energy ~ 0)."""
-        return self.penalty_energy(x) <= tol
+        return self._encoding.is_feasible(x, tol=tol)
 
 
 def slack_encode_inequality(
@@ -138,14 +187,19 @@ def slack_encode_inequality(
     """Encode ``sum_i c_i x_i <= bound`` as an equality with binary slack bits.
 
     Returns the extended coefficient row, the unchanged bound and the number of
-    slack bits appended.  The slack bits use a standard binary expansion large
-    enough to cover the maximum possible slack.
+    slack bits appended.  The slack bits use a binary expansion whose top
+    weight is capped at ``max_slack - (2**(k-1) - 1)`` so the register's
+    maximum is *exactly* the maximum possible slack — a plain power-of-two
+    expansion overshoots for non-power-of-two ``max_slack`` and would let the
+    solver encode slack values no feasible assignment can have.
     """
     coeffs = np.asarray(coefficients, dtype=np.float64)
     max_slack = float(bound - coeffs[coeffs < 0].sum())
     if max_slack < 0:
         raise ValueError("constraint is infeasible for every binary assignment")
     num_slack = max(1, int(np.ceil(np.log2(max_slack + 1)))) if max_slack > 0 else 0
-    slack_weights = [2.0**k for k in range(num_slack)]
+    slack_weights = [2.0**k for k in range(max(0, num_slack - 1))]
+    if num_slack:
+        slack_weights.append(max_slack - (2.0 ** (num_slack - 1) - 1.0))
     extended = np.concatenate([coeffs, np.asarray(slack_weights)])
     return extended, float(bound), num_slack

@@ -5,24 +5,28 @@ A QUBO (quadratic unconstrained binary optimisation) problem is
 .. math:: \\min_{x \\in \\{0,1\\}^n} \\; x^T Q x + c
 
 where :math:`Q` is an upper-triangular (or symmetric) real matrix and ``c`` an
-optional constant offset.  The model stores ``Q`` densely because the problem
-sizes studied in the paper (TSP with up to ~90 cities, i.e. a few thousand
-binary variables) fit comfortably in memory, and dense matrices let the solvers
-vectorise batched energy / local-field computations with numpy.
+optional constant offset.  The model is *storage polymorphic*: ``Q`` may be a
+dense float64 ndarray (the historical representation, ideal for the
+few-thousand-variable TSP instances studied in the paper) or a scipy CSR
+matrix, which lets sparse problem classes — MVC on large sparse graphs in
+particular — be encoded, fingerprinted and solved without ever allocating an
+``n x n`` dense array.  Every public operation (``energy`` / ``energies`` /
+``local_fields`` / ``scaled`` / ``__add__`` / ``to_dict`` / ``to_ising`` /
+``operator``) works on both storages; a sparse model inside the CSR backend
+regime (at least :data:`SPARSE_MIN_VARIABLES` variables and density below
+:data:`SPARSE_DENSITY_THRESHOLD`) is never silently densified — dense views of
+such models go through the explicit :meth:`QUBOModel.dense_Q`.
 """
 
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, Mapping, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Tuple
 
 import numpy as np
 
-try:  # pragma: no cover - scipy ships with the toolchain but stay importable without it
-    from scipy import sparse as _sparse
-except ImportError:  # pragma: no cover
-    _sparse = None
+from repro.utils.sparse import issparse as _is_sparse, scipy_sparse as _sparse
 
 from repro.utils.validation import check_square_matrix
 
@@ -33,6 +37,21 @@ from repro.utils.validation import check_square_matrix
 SPARSE_DENSITY_THRESHOLD = 0.10
 #: Below this size the dense backend always wins (sparse overhead dominates).
 SPARSE_MIN_VARIABLES = 512
+
+
+def _canonical_csr(matrix):
+    """Canonical float64 CSR: sorted indices, duplicates summed, no stored zeros.
+
+    Canonical form makes sparse reductions deterministic (they visit entries in
+    the same row-major order a dense scan would) and keeps ``nnz`` equal to the
+    true number of non-zero coefficients, so density and fingerprints agree
+    with the dense storage of the same model.
+    """
+    csr = _sparse.csr_array(matrix).astype(np.float64)
+    csr.sum_duplicates()
+    csr.sort_indices()
+    csr.eliminate_zeros()
+    return csr
 
 
 class DenseOperator:
@@ -73,19 +92,27 @@ class DenseOperator:
 class SparseOperator:
     """CSR float32 backend for sparse models (e.g. MVC QUBOs).
 
-    Coefficients are stored in single precision: the annealers only use them to
-    steer the search, and every returned energy is re-evaluated against the
-    exact dense float64 model, so the float32 rounding never leaks into
-    reported results.  Local fields accumulate in float64.
+    Accepts either a dense symmetric ``Q`` or a canonical float64 CSR matrix —
+    both produce bit-identical operator data, so solver trajectories do not
+    depend on how the model was stored.  Coefficients are held in single
+    precision: the annealers only use them to steer the search, and every
+    returned energy is re-evaluated against the exact float64 model, so the
+    float32 rounding never leaks into reported results.  Local fields
+    accumulate in float64.
     """
 
     kind = "sparse"
 
-    def __init__(self, Q: np.ndarray) -> None:
+    def __init__(self, Q) -> None:
         if _sparse is None:  # pragma: no cover - defensive
             raise RuntimeError("scipy is required for the sparse QUBO backend")
-        self._Q = _sparse.csr_array(np.asarray(Q, dtype=np.float32))
-        self.diag = np.asarray(np.diag(Q), dtype=np.float64)
+        if _is_sparse(Q):
+            exact = _canonical_csr(Q)
+            self._Q = exact.astype(np.float32)
+            self.diag = np.asarray(exact.diagonal(), dtype=np.float64)
+        else:
+            self._Q = _sparse.csr_array(np.asarray(Q, dtype=np.float32))
+            self.diag = np.asarray(np.diag(Q), dtype=np.float64)
         # Raw CSR triplet: row gathers go through these directly because
         # scipy's fancy row indexing spends ~100x the gather cost on index
         # validation and matrix construction, which dominates per-step use.
@@ -124,7 +151,8 @@ class IsingModel:
 
     ``J`` is symmetric with a zero diagonal; the quadratic term therefore counts
     every pair twice (``J_ij s_i s_j + J_ji s_j s_i``), matching the QUBO
-    convention used by :class:`QUBOModel`.
+    convention used by :class:`QUBOModel`.  ``J`` is a dense ndarray when the
+    source QUBO was dense and a CSR matrix when it was sparse.
     """
 
     h: np.ndarray
@@ -137,36 +165,114 @@ class IsingModel:
 
 
 class QUBOModel:
-    """Dense QUBO model ``x^T Q x + offset`` over binary variables.
+    """QUBO model ``x^T Q x + offset`` over binary variables.
 
     Parameters
     ----------
     Q:
-        Square coefficient matrix.  It is stored internally in *symmetrised*
-        form ``(Q + Q^T) / 2`` which leaves the quadratic form unchanged and
-        simplifies incremental energy updates in the solvers.
+        Square coefficient matrix — a dense ndarray or a scipy sparse matrix.
+        It is stored internally in *symmetrised* form ``(Q + Q^T) / 2`` which
+        leaves the quadratic form unchanged and simplifies incremental energy
+        updates in the solvers; sparse input stays sparse (canonical CSR).
     offset:
         Constant added to every energy.
     name:
         Optional human-readable label used in reports.
     """
 
-    def __init__(self, Q: np.ndarray, offset: float = 0.0, name: str = "") -> None:
-        Q = check_square_matrix(Q, "Q")
-        self._Q = (Q + Q.T) / 2.0
+    def __init__(self, Q, offset: float = 0.0, name: str = "") -> None:
+        if _is_sparse(Q):
+            if Q.ndim != 2 or Q.shape[0] != Q.shape[1]:
+                raise ValueError(f"Q must be a square 2-D array, got shape {Q.shape}")
+            csr = _canonical_csr(Q)
+            self._Q = _canonical_csr((csr + csr.T) / 2.0)
+            self._storage = "sparse"
+        else:
+            Q = check_square_matrix(Q, "Q")
+            self._Q = (Q + Q.T) / 2.0
+            self._storage = "dense"
         self._offset = float(offset)
         self.name = name
         self._operators: Dict[str, object] = {}
         self._coefficient_stats: Optional[Tuple[float, float]] = None
         self._density: Optional[float] = None
+        self._fingerprint: Optional[str] = None
+        self._dense_cache: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------ basic
     @property
+    def storage(self) -> str:
+        """Coefficient storage backend: ``"dense"`` or ``"sparse"``."""
+        return self._storage
+
+    @property
+    def is_sparse(self) -> bool:
+        return self._storage == "sparse"
+
+    def in_sparse_regime(self) -> bool:
+        """Whether this model falls inside the CSR auto-backend thresholds."""
+        return (
+            self.num_variables >= SPARSE_MIN_VARIABLES
+            and self.density() < SPARSE_DENSITY_THRESHOLD
+        )
+
+    def _dense(self) -> np.ndarray:
+        """Dense float64 coefficient array (cached); the densification choke point.
+
+        Every dense materialisation of a sparse-stored model funnels through
+        here, which is what lets tests assert that the sparse encode/solve path
+        never densifies.
+        """
+        if self._storage == "dense":
+            return self._Q
+        if self._dense_cache is None:
+            self._dense_cache = np.asarray(self._Q.toarray(), dtype=np.float64)
+        return self._dense_cache
+
+    @property
     def Q(self) -> np.ndarray:
-        """Symmetrised coefficient matrix (read-only view)."""
-        view = self._Q.view()
+        """Symmetrised dense coefficient matrix (read-only view).
+
+        For sparse-stored models this densifies only *below* the CSR backend
+        thresholds (small or near-dense models, where a dense copy is what the
+        solvers would build anyway).  Inside the sparse regime it raises —
+        call :meth:`dense_Q` to densify explicitly or :meth:`sparse_Q` for the
+        CSR form.
+        """
+        if self._storage == "sparse" and self.in_sparse_regime():
+            raise ValueError(
+                f"model {self.name!r} (n={self.num_variables}, "
+                f"density={self.density():.4f}) is stored sparse and lies inside the "
+                "CSR backend regime; refusing to densify silently. Use "
+                "dense_Q() to densify explicitly or sparse_Q() for the CSR form."
+            )
+        view = self._dense().view()
         view.flags.writeable = False
         return view
+
+    def dense_Q(self) -> np.ndarray:
+        """Explicit dense float64 view of the coefficients (read-only)."""
+        view = self._dense().view()
+        view.flags.writeable = False
+        return view
+
+    def sparse_Q(self):
+        """Coefficients as a canonical float64 CSR matrix (converting if dense)."""
+        if _sparse is None:
+            raise RuntimeError("scipy is required for sparse_Q()")
+        if self._storage == "sparse":
+            return self._Q
+        return _canonical_csr(_sparse.csr_array(self._Q))
+
+    def with_storage(self, storage: str) -> "QUBOModel":
+        """This model converted to the requested storage (``self`` if already there)."""
+        if storage not in ("dense", "sparse"):
+            raise ValueError(f"unknown storage {storage!r}")
+        if storage == self._storage:
+            return self
+        if storage == "sparse":
+            return QUBOModel(self.sparse_Q(), offset=self._offset, name=self.name)
+        return QUBOModel(self._dense(), offset=self._offset, name=self.name)
 
     @property
     def offset(self) -> float:
@@ -176,8 +282,16 @@ class QUBOModel:
     def num_variables(self) -> int:
         return int(self._Q.shape[0])
 
+    def _diagonal(self) -> np.ndarray:
+        if self._storage == "sparse":
+            return np.asarray(self._Q.diagonal(), dtype=np.float64)
+        return np.diag(self._Q)
+
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
-        return f"QUBOModel(n={self.num_variables}, offset={self._offset:.4g}, name={self.name!r})"
+        return (
+            f"QUBOModel(n={self.num_variables}, offset={self._offset:.4g}, "
+            f"storage={self._storage!r}, name={self.name!r})"
+        )
 
     # ---------------------------------------------------------------- algebra
     @classmethod
@@ -202,17 +316,22 @@ class QUBOModel:
 
     def to_dict(self, tol: float = 0.0) -> Dict[Tuple[int, int], float]:
         """Return upper-triangular ``{(i, j): value}`` coefficients above ``tol``."""
-        coeffs: Dict[Tuple[int, int], float] = {}
-        n = self.num_variables
-        for i in range(n):
-            diag = self._Q[i, i]
-            if abs(diag) > tol:
-                coeffs[(i, i)] = float(diag)
-            for j in range(i + 1, n):
-                value = 2.0 * self._Q[i, j]
-                if abs(value) > tol:
-                    coeffs[(i, j)] = float(value)
-        return coeffs
+        if self._storage == "sparse":
+            coo = self._Q.tocoo()
+            rows = np.asarray(coo.coords[0], dtype=np.int64)
+            cols = np.asarray(coo.coords[1], dtype=np.int64)
+            vals = np.asarray(coo.data, dtype=np.float64)
+        else:
+            rows, cols = np.nonzero(self._Q)
+            vals = self._Q[rows, cols]
+        upper = rows <= cols
+        rows, cols, vals = rows[upper], cols[upper], vals[upper]
+        vals = np.where(rows == cols, vals, 2.0 * vals)
+        keep = np.abs(vals) > tol
+        return {
+            (int(i), int(j)): float(v)
+            for i, j, v in zip(rows[keep], cols[keep], vals[keep])
+        }
 
     def scaled(self, factor: float) -> "QUBOModel":
         """Return a new model with every coefficient (and offset) multiplied by ``factor``."""
@@ -225,7 +344,12 @@ class QUBOModel:
             raise ValueError(
                 f"cannot add QUBOs of different sizes ({self.num_variables} vs {other.num_variables})"
             )
-        return QUBOModel(self._Q + other._Q, offset=self._offset + other._offset, name=self.name)
+        offset = self._offset + other._offset
+        if self._storage == "sparse" and other._storage == "sparse":
+            return QUBOModel(self._Q + other._Q, offset=offset, name=self.name)
+        # Mixed storage: the dense operand already holds an n x n array, so the
+        # combined model is dense by construction (no hidden memory blow-up).
+        return QUBOModel(self._dense() + other._dense(), offset=offset, name=self.name)
 
     def __mul__(self, factor: float) -> "QUBOModel":
         return self.scaled(float(factor))
@@ -238,6 +362,8 @@ class QUBOModel:
         x = np.asarray(x, dtype=np.float64)
         if x.shape != (self.num_variables,):
             raise ValueError(f"expected shape ({self.num_variables},), got {x.shape}")
+        if self._storage == "sparse":
+            return float(x @ (self._Q @ x) + self._offset)
         return float(x @ self._Q @ x + self._offset)
 
     def energies(self, X: np.ndarray) -> np.ndarray:
@@ -245,6 +371,8 @@ class QUBOModel:
         X = np.asarray(X, dtype=np.float64)
         if X.ndim != 2 or X.shape[1] != self.num_variables:
             raise ValueError(f"expected shape (batch, {self.num_variables}), got {X.shape}")
+        if self._storage == "sparse":
+            return np.asarray((X @ self._Q) * X).sum(axis=1) + self._offset
         return np.einsum("bi,ij,bj->b", X, self._Q, X) + self._offset
 
     def local_fields(self, X: np.ndarray) -> np.ndarray:
@@ -257,15 +385,25 @@ class QUBOModel:
         X = np.asarray(X, dtype=np.float64)
         if X.ndim != 2 or X.shape[1] != self.num_variables:
             raise ValueError(f"expected shape (batch, {self.num_variables}), got {X.shape}")
-        diag = np.diag(self._Q)
+        diag = self._diagonal()
         # 2 * Q x includes 2*Q_ii*x_i; subtract the extra diagonal contribution.
-        field = 2.0 * X @ self._Q - 2.0 * X * diag + diag
+        field = 2.0 * np.asarray(X @ self._Q) - 2.0 * X * diag + diag
         return (1.0 - 2.0 * X) * field
 
     # --------------------------------------------------------------- convert
     def to_ising(self) -> IsingModel:
-        """Convert to Ising form using ``x = (1 + s) / 2``."""
+        """Convert to Ising form using ``x = (1 + s) / 2``.
+
+        Sparse models produce a sparse (CSR) ``J`` — the conversion never
+        densifies.
+        """
         Q = self._Q
+        if self._storage == "sparse":
+            diag = self._diagonal()
+            J = _canonical_csr((Q - _sparse.diags_array(diag)) / 4.0)
+            h = np.asarray(Q.sum(axis=1)).ravel() / 2.0
+            offset = self._offset + float(Q.sum()) / 4.0 + float(diag.sum()) / 4.0
+            return IsingModel(h=h, J=J, offset=float(offset))
         n = self.num_variables
         J = Q / 4.0
         np.fill_diagonal(J, 0.0)
@@ -275,14 +413,22 @@ class QUBOModel:
 
     @classmethod
     def from_ising(cls, ising: IsingModel, name: str = "") -> "QUBOModel":
-        """Convert an Ising model back into QUBO form."""
+        """Convert an Ising model back into QUBO form (sparse ``J`` stays sparse)."""
         h = np.asarray(ising.h, dtype=np.float64)
+        if _is_sparse(ising.J):
+            J = _canonical_csr(ising.J)
+            J = _canonical_csr((J + J.T) / 2.0)
+            if np.any(J.diagonal() != 0):
+                raise ValueError("Ising J must have a zero diagonal")
+            diag = 2.0 * h - 4.0 * np.asarray(J.sum(axis=1)).ravel()
+            Q = 4.0 * J + _sparse.diags_array(diag)
+            offset = ising.offset - h.sum() + float(J.sum())
+            return cls(Q, offset=float(offset), name=name)
         J = check_square_matrix(ising.J, "J")
         J = (J + J.T) / 2.0
         np_diag = np.diag(J).copy()
         if np.any(np_diag != 0):
             raise ValueError("Ising J must have a zero diagonal")
-        n = h.shape[0]
         Q = 4.0 * J
         diag = 2.0 * h - 4.0 * J.sum(axis=1)
         Q = Q.copy()
@@ -295,12 +441,16 @@ class QUBOModel:
         """Fraction of non-zero coefficients in the symmetrised matrix.
 
         Cached: solvers consult it on every ``sample`` call via
-        :meth:`operator`, and the ``O(n^2)`` scan would otherwise repeat.
+        :meth:`operator`.  Sparse storage reads ``nnz`` directly (the CSR is
+        canonical, so stored entries are exactly the non-zeros); dense storage
+        pays the ``O(n^2)`` scan once.
         """
         if self._density is None:
             n = self.num_variables
             if n == 0:
                 self._density = 0.0
+            elif self._storage == "sparse":
+                self._density = float(self._Q.nnz) / float(n * n)
             else:
                 self._density = float(np.count_nonzero(self._Q)) / float(n * n)
         return self._density
@@ -311,15 +461,14 @@ class QUBOModel:
         ``backend`` may be ``"dense"``, ``"sparse"`` or ``None`` for automatic
         selection: models with at least :data:`SPARSE_MIN_VARIABLES` variables
         and density below :data:`SPARSE_DENSITY_THRESHOLD` get the CSR float32
-        backend, everything else the dense float64 one.  Operators are cached
-        on the model, so repeated solver calls reuse the same arrays.
+        backend, everything else the dense float64 one.  The selection rule
+        depends only on the coefficients, not on the storage, so a model built
+        sparse and the same model built dense drive the solvers identically.
+        Operators are cached on the model, so repeated solver calls reuse the
+        same arrays.
         """
         if backend is None:
-            use_sparse = (
-                _sparse is not None
-                and self.num_variables >= SPARSE_MIN_VARIABLES
-                and self.density() < SPARSE_DENSITY_THRESHOLD
-            )
+            use_sparse = _sparse is not None and self.in_sparse_regime()
             backend = "sparse" if use_sparse else "dense"
         if backend not in ("dense", "sparse"):
             raise ValueError(f"unknown backend {backend!r}")
@@ -327,34 +476,66 @@ class QUBOModel:
             if backend == "sparse":
                 self._operators[backend] = SparseOperator(self._Q)
             else:
-                self._operators[backend] = DenseOperator(self._Q)
+                self._operators[backend] = DenseOperator(self._dense())
         return self._operators[backend]
 
     def coefficient_stats(self) -> Tuple[float, float]:
         """Cached ``(max_abs_row_sum, min_nonzero_abs)`` of the coefficients.
 
         These drive the automatic temperature range; caching them means
-        repeated solver calls on the same model skip the ``O(n^2)`` scan.
+        repeated solver calls on the same model skip the coefficient scan.
         """
         if self._coefficient_stats is None:
-            abs_Q = np.abs(self._Q)
-            max_row = float(abs_Q.sum(axis=1).max(initial=1.0))
-            nonzero = abs_Q[abs_Q > 0]
-            min_nonzero = float(nonzero.min()) if nonzero.size else 1.0
+            if self._storage == "sparse":
+                abs_Q = abs(self._Q)
+                row_sums = np.asarray(abs_Q.sum(axis=1)).ravel()
+                max_row = float(row_sums.max(initial=1.0))
+                data = np.abs(self._Q.data)
+                nonzero = data[data > 0]
+                min_nonzero = float(nonzero.min()) if nonzero.size else 1.0
+            else:
+                abs_Q = np.abs(self._Q)
+                max_row = float(abs_Q.sum(axis=1).max(initial=1.0))
+                nonzero = abs_Q[abs_Q > 0]
+                min_nonzero = float(nonzero.min()) if nonzero.size else 1.0
             self._coefficient_stats = (max_row, min_nonzero)
         return self._coefficient_stats
 
     # ------------------------------------------------------------------ misc
     def max_abs_coefficient(self) -> float:
         """Largest absolute coefficient, used for normalisation and noise models."""
+        if self._storage == "sparse":
+            return float(np.abs(self._Q.data).max(initial=0.0))
         return float(np.abs(self._Q).max(initial=0.0))
 
     def fingerprint(self) -> str:
-        """Stable hash of the coefficients, usable as a cache key."""
-        digest = hashlib.sha256()
-        digest.update(np.ascontiguousarray(self._Q).tobytes())
-        digest.update(np.float64(self._offset).tobytes())
-        return digest.hexdigest()[:16]
+        """Stable hash of the coefficients, usable as a cache key.
+
+        Storage invariant: the same mathematical model fingerprints identically
+        whether it is held dense or as CSR (the hash covers the canonical COO
+        triplets of the symmetrised matrix), so service-level batching and
+        deduplication work across storage backends.  Cached — immutable models
+        are fingerprinted repeatedly by the request-grouping path.
+        """
+        if self._fingerprint is None:
+            if self._storage == "sparse":
+                coo = self._Q.tocoo()
+                rows = np.asarray(coo.coords[0], dtype=np.int64)
+                cols = np.asarray(coo.coords[1], dtype=np.int64)
+                vals = np.asarray(coo.data, dtype=np.float64)
+            else:
+                rows, cols = np.nonzero(self._Q)
+                rows = np.asarray(rows, dtype=np.int64)
+                cols = np.asarray(cols, dtype=np.int64)
+                vals = np.asarray(self._Q[rows, cols], dtype=np.float64)
+            digest = hashlib.sha256()
+            digest.update(np.int64(self.num_variables).tobytes())
+            digest.update(np.ascontiguousarray(rows).tobytes())
+            digest.update(np.ascontiguousarray(cols).tobytes())
+            digest.update(np.ascontiguousarray(vals).tobytes())
+            digest.update(np.float64(self._offset).tobytes())
+            self._fingerprint = digest.hexdigest()[:16]
+        return self._fingerprint
 
 
 def random_qubo(

@@ -38,10 +38,25 @@ class AnalogNoiseModel:
             raise ValueError("error magnitudes must be non-negative")
 
     def perturb(self, model: QUBOModel, rng: RngLike = None) -> QUBOModel:
-        """Return a perturbed copy of ``model``."""
+        """Return a perturbed copy of ``model``.
+
+        Sparse-stored models are perturbed structure-preservingly: the noise is
+        applied to the stored (implemented) couplings only, mirroring hardware
+        that only realises the couplings present in the program — and the model
+        is never densified.
+        """
         rng = ensure_rng(rng)
-        Q = np.array(model.Q, dtype=np.float64, copy=True)
         scale = model.max_abs_coefficient()
+        if model.is_sparse:
+            Q = model.sparse_Q().copy()
+            data = Q.data.copy()
+            if self.relative_error > 0:
+                data = data * (1.0 + rng.normal(0.0, self.relative_error, size=data.shape))
+            if self.absolute_error > 0 and scale > 0:
+                data = data + rng.normal(0.0, self.absolute_error * scale, size=data.shape)
+            Q.data = data
+            return QUBOModel(Q, offset=model.offset, name=model.name)
+        Q = np.array(model.Q, dtype=np.float64, copy=True)
         if self.relative_error > 0:
             Q = Q * (1.0 + rng.normal(0.0, self.relative_error, size=Q.shape))
         if self.absolute_error > 0 and scale > 0:
@@ -67,9 +82,21 @@ class QuantizationModel:
             raise ValueError("num_bits must be at least 2")
 
     def quantize(self, model: QUBOModel) -> QUBOModel:
-        """Return a copy of ``model`` with quantised coefficients."""
-        Q = np.array(model.Q, dtype=np.float64, copy=True)
+        """Return a copy of ``model`` with quantised coefficients.
+
+        Sparse-stored models quantise their stored coefficients in CSR form
+        (zeros quantise to zero anyway) — no densification.
+        """
         scale = model.max_abs_coefficient()
+        if model.is_sparse:
+            Q = model.sparse_Q().copy()
+            if scale == 0:
+                return QUBOModel(Q, offset=model.offset, name=model.name)
+            levels = 2 ** (self.num_bits - 1) - 1
+            step = scale / levels
+            Q.data = np.round(Q.data / step) * step
+            return QUBOModel(Q, offset=model.offset, name=model.name)
+        Q = np.array(model.Q, dtype=np.float64, copy=True)
         if scale == 0:
             return QUBOModel(Q, offset=model.offset, name=model.name)
         levels = 2 ** (self.num_bits - 1) - 1

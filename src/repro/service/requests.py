@@ -70,8 +70,32 @@ class SolveRequest:
         if self.seed is not None and not isinstance(self.seed, (int, np.integer)):
             raise ValueError(f"seed must be an int or None, got {self.seed!r}")
 
+    def model_key(self) -> str:
+        """Stable identity of the model this request solves, *without materialising it*.
+
+        Model-based requests key on the model fingerprint; problem-based
+        requests key on the instance's encoding fingerprint plus the
+        relaxation parameter.  The encoding (``H_B``, ``H_A``) is built once
+        per problem and cached there — no relaxed ``H_B + A * H_A`` model is
+        composed until a worker actually needs it, so the service can group
+        and deduplicate requests lazily.
+        """
+        if self.model is not None:
+            return self.model.fingerprint()
+        # float.hex() is exact — distinct parameters can never collide into
+        # one merged group the way a rounded decimal format could.
+        return (
+            f"{self.problem.encode().fingerprint()}"
+            f"|A={float(self.relaxation_parameter).hex()}"
+        )
+
     def resolve_model(self) -> QUBOModel:
-        """The QUBO this request solves (building it from the problem if needed)."""
+        """The QUBO this request solves (building it from the problem if needed).
+
+        Problem-based requests materialise through the problem's cached
+        :class:`~repro.qubo.expression.RelaxedEncoding`, so concurrent requests
+        at the same relaxation parameter share one composed model.
+        """
         if self.model is not None:
             return self.model
         return self.problem.build_qubo(float(self.relaxation_parameter))

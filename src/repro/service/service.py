@@ -127,22 +127,26 @@ class SolveService:
 
     # ------------------------------------------------------------- single shot
     def submit(self, request: SolveRequest) -> "Future[SolveResult]":
-        """Schedule one request; returns a future resolving to its result."""
-        solver = self.resolve_solver(request.solver)
-        model = request.resolve_model()
-        return self._submit_resolved(request, model, solver)
+        """Schedule one request; returns a future resolving to its result.
 
-    def _submit_resolved(
-        self, request: SolveRequest, model: QUBOModel, solver: QUBOSolver
+        The request's QUBO is *not* materialised here: problem-based requests
+        carry their ``(encoding, A)`` identity and the relaxed model is
+        composed lazily by the pool worker (once per parameter, through the
+        problem's encoding cache).
+        """
+        solver = self.resolve_solver(request.solver)
+        return self._submit_request(request, solver)
+
+    def _submit_request(
+        self, request: SolveRequest, solver: QUBOSolver
     ) -> "Future[SolveResult]":
         if request.seed is not None:
-            return self._pool().submit(self._run_seeded, request, model, solver)
+            return self._pool().submit(self._run_seeded, request, solver)
         rng = self._spawn_rng()
-        return self._pool().submit(self._run_unseeded, request, model, solver, rng)
+        return self._pool().submit(self._run_unseeded, request, solver, rng)
 
-    def _run_seeded(
-        self, request: SolveRequest, model: QUBOModel, solver: QUBOSolver
-    ) -> SolveResult:
+    def _run_seeded(self, request: SolveRequest, solver: QUBOSolver) -> SolveResult:
+        model = request.resolve_model()
         key = SolverCallCache.sample_key(model, solver, request.num_reads, int(request.seed))
         # Per-key lock: concurrent duplicates wait for the first execution and
         # are then served from the cache — the engine runs exactly once.
@@ -157,11 +161,10 @@ class SolveService:
     def _run_unseeded(
         self,
         request: SolveRequest,
-        model: QUBOModel,
         solver: QUBOSolver,
         rng: np.random.Generator,
     ) -> SolveResult:
-        samples = solver.sample(model, num_reads=request.num_reads, rng=rng)
+        samples = solver.sample(request.resolve_model(), num_reads=request.num_reads, rng=rng)
         return self._result(request, samples, solver)
 
     @staticmethod
@@ -185,19 +188,21 @@ class SolveService:
     def map_requests(self, requests: Iterable[SolveRequest]) -> List[SolveResult]:
         """Execute a batch of requests, preserving input order in the results.
 
-        Requests are grouped by ``(model fingerprint, solver fingerprint)``.
-        Within a group, unseeded requests are merged into one engine call with
-        the summed read count; seeded requests keep their own deterministic
-        streams (and cache dedup) and run individually.
+        Requests are grouped by ``(model key, solver fingerprint)`` — the
+        model key (:meth:`SolveRequest.model_key`) identifies problem-based
+        requests by their encoding fingerprint and relaxation parameter, so
+        grouping never materialises a relaxed QUBO.  Within a group, unseeded
+        requests are merged into one engine call with the summed read count
+        (the model is composed once, inside the worker); seeded requests keep
+        their own deterministic streams (and cache dedup) and run individually.
         """
         requests = list(requests)
-        resolved: List[Tuple[SolveRequest, QUBOModel, QUBOSolver]] = []
+        resolved: List[Tuple[SolveRequest, QUBOSolver]] = []
         groups: Dict[Tuple[str, str], List[int]] = defaultdict(list)
         for index, request in enumerate(requests):
             solver = self.resolve_solver(request.solver)
-            model = request.resolve_model()
-            resolved.append((request, model, solver))
-            groups[(model.fingerprint(), f"{solver.name}:{solver.config_fingerprint()}")].append(index)
+            resolved.append((request, solver))
+            groups[(request.model_key(), f"{solver.name}:{solver.config_fingerprint()}")].append(index)
 
         futures: Dict[int, "Future"] = {}
         merged: List[Tuple[List[int], "Future[List[SolveResult]]"]] = []
@@ -205,17 +210,17 @@ class SolveService:
             unseeded = [i for i in indices if requests[i].seed is None]
             for i in indices:
                 if requests[i].seed is not None:
-                    request, model, solver = resolved[i]
-                    futures[i] = self._submit_resolved(request, model, solver)
+                    request, solver = resolved[i]
+                    futures[i] = self._submit_request(request, solver)
             if len(unseeded) == 1:
-                request, model, solver = resolved[unseeded[0]]
-                futures[unseeded[0]] = self._submit_resolved(request, model, solver)
+                request, solver = resolved[unseeded[0]]
+                futures[unseeded[0]] = self._submit_request(request, solver)
             elif unseeded:
-                _, model, solver = resolved[unseeded[0]]
+                _, solver = resolved[unseeded[0]]
                 entries = [resolved[i][0] for i in unseeded]
                 rng = self._spawn_rng()
                 merged.append(
-                    (unseeded, self._pool().submit(self._run_merged, entries, model, solver, rng))
+                    (unseeded, self._pool().submit(self._run_merged, entries, solver, rng))
                 )
 
         results: List[Optional[SolveResult]] = [None] * len(requests)
@@ -229,16 +234,17 @@ class SolveService:
     def _run_merged(
         self,
         entries: Sequence[SolveRequest],
-        model: QUBOModel,
         solver: QUBOSolver,
         rng: np.random.Generator,
     ) -> List[SolveResult]:
         """One engine call for a group of unseeded same-(model, solver) requests.
 
-        The merged sample set is dealt back through a random permutation, so
-        every request receives an exchangeable (unbiased) subset of the reads
-        rather than a slice of the energy-sorted batch.
+        The model is materialised here, once for the whole group.  The merged
+        sample set is dealt back through a random permutation, so every
+        request receives an exchangeable (unbiased) subset of the reads rather
+        than a slice of the energy-sorted batch.
         """
+        model = entries[0].resolve_model()
         total = sum(request.num_reads for request in entries)
         samples = solver.sample(model, num_reads=total, rng=rng)
         permutation = rng.permutation(total)
@@ -265,30 +271,47 @@ class SolveService:
     # ------------------------------------------------------------ conveniences
     def solve(
         self,
-        problem_or_model: Union[QUBOModel, ConstrainedProblem],
+        problem_or_model: Union[QUBOModel, ConstrainedProblem, None] = None,
         solver: SolverLike = "sa",
         num_reads: int = 1,
         relaxation_parameter: Optional[float] = None,
         seed: Optional[int] = None,
         label: str = "",
+        model: Optional[QUBOModel] = None,
+        problem: Optional[ConstrainedProblem] = None,
         **solver_options,
     ) -> SolveResult:
-        """One-call solve: build the request, run it, return the result."""
+        """One-call solve: build the request, run it, return the result.
+
+        The target may be passed positionally (a model or a problem) or by
+        keyword: ``solve(problem=..., relaxation_parameter=...)`` /
+        ``solve(model=...)``.  Problem-based calls materialise the relaxed
+        QUBO lazily on the worker, through the problem's cached encoding.
+        """
+        if problem_or_model is not None:
+            if model is not None or problem is not None:
+                raise ValueError("pass the target either positionally or by keyword, not both")
+            if isinstance(problem_or_model, QUBOModel):
+                model = problem_or_model
+            else:
+                problem = problem_or_model
+        if (model is None) == (problem is None):
+            raise ValueError("provide exactly one of model= or problem=")
         resolved = self.registry.from_spec(solver, **solver_options)
-        if isinstance(problem_or_model, QUBOModel):
+        if model is not None:
             if relaxation_parameter is not None:
                 raise ValueError(
                     "relaxation_parameter only applies when solving a problem; "
                     "a QUBOModel is already built"
                 )
             request = SolveRequest(
-                solver=resolved, model=problem_or_model, num_reads=num_reads,
+                solver=resolved, model=model, num_reads=num_reads,
                 seed=seed, label=label,
             )
         else:
             request = SolveRequest(
                 solver=resolved,
-                problem=problem_or_model,
+                problem=problem,
                 relaxation_parameter=relaxation_parameter,
                 num_reads=num_reads,
                 seed=seed,
@@ -363,24 +386,28 @@ def default_service() -> SolveService:
 
 
 def solve(
-    problem_or_model: Union[QUBOModel, ConstrainedProblem],
+    problem_or_model: Union[QUBOModel, ConstrainedProblem, None] = None,
     solver: SolverLike = "sa",
     num_reads: int = 1,
     relaxation_parameter: Optional[float] = None,
     seed: Optional[int] = None,
     label: str = "",
+    model: Optional[QUBOModel] = None,
+    problem: Optional[ConstrainedProblem] = None,
     **solver_options,
 ) -> SolveResult:
     """Solve a QUBO (or a problem at a relaxation parameter) in one call.
 
-    >>> result = solve(problem, solver="da", num_reads=64,
+    >>> result = solve(problem=problem, solver="da", num_reads=64,
     ...                relaxation_parameter=12.5, seed=0)
     >>> result.best_energy
 
-    Solver options pass through to the registry:
-    ``solve(model, solver="sa", num_sweeps=2000)``.  Runs on the shared
-    default :class:`SolveService` (seeded duplicates are served from its
-    cache — they are deterministic, so the cached result is exact).
+    The target may be positional or keyword (``model=`` / ``problem=``).
+    Problem-based calls never densify a sparse encoding and materialise the
+    relaxed QUBO lazily on a service worker.  Solver options pass through to
+    the registry: ``solve(model, solver="sa", num_sweeps=2000)``.  Runs on the
+    shared default :class:`SolveService` (seeded duplicates are served from
+    its cache — they are deterministic, so the cached result is exact).
     """
     return default_service().solve(
         problem_or_model,
@@ -389,5 +416,7 @@ def solve(
         relaxation_parameter=relaxation_parameter,
         seed=seed,
         label=label,
+        model=model,
+        problem=problem,
         **solver_options,
     )

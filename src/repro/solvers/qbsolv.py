@@ -113,21 +113,49 @@ class QbsolvSolver(QUBOSolver):
         return best_x
     def _solve_once(self, model: QUBOModel, rng: np.random.Generator) -> np.ndarray:
         n = model.num_variables
-        Q = np.asarray(model.Q)
-        diag = np.diag(Q).copy()
         window = min(self.config.subproblem_size, n)
+        # Branch on the auto-selected operator kind — a function of size and
+        # density only, never of how the model happens to be stored — so the
+        # seeded trajectory is storage-invariant (fingerprints, cache keys and
+        # request grouping identify models by content, not storage).
+        op = model.operator()
+        if op.kind == "sparse":
+            # CSR path: steer window selection and clamping through the sparse
+            # operator (float32 coefficients, like the annealing engine) — the
+            # model is never densified.  Candidate acceptance and the clamped
+            # part's energy are always evaluated against the exact model.
+            diag = np.asarray(op.diag, dtype=np.float64)
+
+            def full_field(x: np.ndarray) -> np.ndarray:
+                return op.right_multiply(x[None, :])[0]
+
+            def clamp(x: np.ndarray, block: np.ndarray) -> QUBOModel:
+                clamped = x.copy()
+                clamped[block] = 0.0
+                clamped_energy = model.energy(clamped) - model.offset
+                return self._clamp_rows(model, op.rows(block), x, block, clamped_energy)
+
+        else:
+            Q = np.asarray(model.Q)
+            diag = np.diag(Q).copy()
+
+            def full_field(x: np.ndarray) -> np.ndarray:
+                return Q @ x
+
+            def clamp(x: np.ndarray, block: np.ndarray) -> QUBOModel:
+                return self._clamp_dense(model, Q, x, block)
 
         x = rng.integers(0, 2, size=n).astype(np.float64)
         energy = model.energy(x)
 
         for _ in range(self.config.max_rounds):
             improved = False
-            order = self._impact_order(Q, diag, x, rng)
+            order = self._impact_order(full_field(x), diag, x, rng)
             for start in range(0, n, window):
                 block = order[start : start + window]
                 if block.size < 2:
                     continue
-                sub_model, _ = self._clamp(model, Q, diag, x, block)
+                sub_model = clamp(x, block)
                 sub_x0 = x[block].astype(np.int8)
                 sub_x = self._subsolver.refine(sub_model, sub_x0, rng=rng)
                 candidate = x.copy()
@@ -144,33 +172,64 @@ class QbsolvSolver(QUBOSolver):
 
     @staticmethod
     def _impact_order(
-        Q: np.ndarray, diag: np.ndarray, x: np.ndarray, rng: np.random.Generator
+        h: np.ndarray, diag: np.ndarray, x: np.ndarray, rng: np.random.Generator
     ) -> np.ndarray:
         """Variables ordered by decreasing |single-flip energy change| with noise.
 
-        Sorting by impact concentrates the sub-problem windows on the variables
-        that matter most to the current solution (as qbsolv does); a small
-        random tie-breaker keeps successive rounds from using identical windows.
+        ``h`` is the local field ``Q @ x``.  Sorting by impact concentrates the
+        sub-problem windows on the variables that matter most to the current
+        solution (as qbsolv does); a small random tie-breaker keeps successive
+        rounds from using identical windows.
         """
-        h = Q @ x
         delta = (1.0 - 2.0 * x) * (diag + 2.0 * h - 2.0 * diag * x)
         noise = rng.random(x.shape[0]) * 1e-9
         return np.argsort(-(np.abs(delta) + noise), kind="stable")
 
     @staticmethod
-    def _clamp(
+    def _clamp_dense(
         model: QUBOModel,
         Q: np.ndarray,
-        diag: np.ndarray,
         x: np.ndarray,
         block: np.ndarray,
-    ) -> tuple[QUBOModel, float]:
-        """Build the sub-QUBO over ``block`` with all other variables clamped at ``x``."""
+    ) -> QUBOModel:
+        """Sub-QUBO over ``block`` with all other variables clamped at ``x``.
+
+        Operates on the full dense ``Q`` with the exact historical submatrix
+        gathers — seeded dense-model results are bit-for-bit stable (the
+        row-based variant below computes the same values through differently
+        laid-out arrays, which perturbs BLAS results in the last ulp).
+        """
         outside = np.ones(x.shape[0], dtype=bool)
         outside[block] = False
         sub_Q = Q[np.ix_(block, block)].copy()
         # Interaction with clamped variables becomes a linear (diagonal) term.
         cross = 2.0 * Q[np.ix_(block, np.where(outside)[0])] @ x[outside]
         sub_Q[np.diag_indices_from(sub_Q)] += cross
-        clamped_offset = float(x[outside] @ Q[np.ix_(np.where(outside)[0], np.where(outside)[0])] @ x[outside])
-        return QUBOModel(sub_Q, offset=model.offset + clamped_offset, name="qbsolv-sub"), clamped_offset
+        clamped_energy = float(
+            x[outside] @ Q[np.ix_(np.where(outside)[0], np.where(outside)[0])] @ x[outside]
+        )
+        return QUBOModel(sub_Q, offset=model.offset + clamped_energy, name="qbsolv-sub")
+
+    @staticmethod
+    def _clamp_rows(
+        model: QUBOModel,
+        rows: np.ndarray,
+        x: np.ndarray,
+        block: np.ndarray,
+        clamped_energy: float,
+    ) -> QUBOModel:
+        """Sub-QUBO over ``block`` built from a dense row gather (sparse path).
+
+        ``rows`` is ``Q[block]`` gathered from the CSR operator and
+        ``clamped_energy`` the quadratic energy of the clamped (outside) part,
+        evaluated against the exact model by the caller.
+        """
+        outside = np.ones(x.shape[0], dtype=bool)
+        outside[block] = False
+        sub_Q = rows[:, block].copy()
+        # Interaction with clamped variables becomes a linear (diagonal) term.
+        cross = 2.0 * rows[:, outside] @ x[outside]
+        sub_Q[np.diag_indices_from(sub_Q)] += cross
+        return QUBOModel(
+            sub_Q, offset=model.offset + float(clamped_energy), name="qbsolv-sub"
+        )

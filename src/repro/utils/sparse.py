@@ -1,0 +1,19 @@
+"""Central scipy.sparse import guard.
+
+scipy ships with the toolchain, but the library stays importable without it
+(sparse storage is then unavailable and everything falls back to dense).
+Every storage-polymorphic module imports the guarded handle from here instead
+of repeating the try/except block.
+"""
+
+from __future__ import annotations
+
+try:  # pragma: no cover - exercised implicitly by every sparse test
+    from scipy import sparse as scipy_sparse
+except ImportError:  # pragma: no cover
+    scipy_sparse = None
+
+
+def issparse(matrix) -> bool:
+    """Whether ``matrix`` is a scipy sparse container (``False`` without scipy)."""
+    return scipy_sparse is not None and scipy_sparse.issparse(matrix)

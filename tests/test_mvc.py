@@ -54,6 +54,92 @@ class TestMVCInstance:
         b = triangle_instance(weights=np.array([1.0, 1.0, 2.0]))
         assert a.fingerprint() != b.fingerprint()
 
+    def test_is_vertex_cover_rejects_wrong_length(self):
+        instance = triangle_instance()
+        with pytest.raises(ValueError, match="one entry per vertex"):
+            instance.is_vertex_cover(np.array([1, 1]))
+        with pytest.raises(ValueError, match="one entry per vertex"):
+            instance.is_vertex_cover(np.ones(4))
+
+    def test_is_vertex_cover_rejects_non_binary(self):
+        instance = triangle_instance()
+        with pytest.raises(ValueError, match="binary"):
+            instance.is_vertex_cover(np.array([2, 1, 0]))
+        with pytest.raises(ValueError, match="binary"):
+            instance.is_vertex_cover(np.array([0.5, 1.0, 1.0]))
+
+    def test_is_vertex_cover_accepts_bool_and_float_binary(self):
+        instance = triangle_instance()
+        assert instance.is_vertex_cover(np.array([True, True, False]))
+        assert instance.is_vertex_cover(np.array([1.0, 1.0, 0.0]))
+
+
+class TestSparseMVCInstance:
+    def edge_list(self):
+        return np.array([[0, 1], [0, 2], [1, 2]])
+
+    def test_from_edges_matches_dense(self):
+        sparse = MVCInstance.from_edges(3, self.edge_list(), name="triangle")
+        dense = triangle_instance()
+        assert sparse.is_sparse and not dense.is_sparse
+        assert sparse.num_edges == dense.num_edges
+        np.testing.assert_array_equal(sparse.edges(), dense.edges())
+        assert sparse.fingerprint() == dense.fingerprint()
+
+    def test_from_edges_accepts_duplicates_and_either_order(self):
+        instance = MVCInstance.from_edges(3, [[1, 0], [0, 1], [2, 0]])
+        assert instance.num_edges == 2
+        np.testing.assert_array_equal(instance.edges(), [[0, 1], [0, 2]])
+
+    def test_from_edges_validation(self):
+        with pytest.raises(ValueError):
+            MVCInstance.from_edges(3, [[0, 3]])
+        with pytest.raises(ValueError):
+            MVCInstance.from_edges(3, [[1, 1]])
+        with pytest.raises(ValueError):
+            MVCInstance.from_edges(3, [[0, 1, 2]])
+
+    def test_sparse_cover_detection(self):
+        instance = MVCInstance.from_edges(4, [[0, 1], [2, 3]])
+        assert instance.is_vertex_cover(np.array([1, 0, 1, 0]))
+        assert not instance.is_vertex_cover(np.array([1, 0, 0, 0]))
+
+    def test_sparse_problem_encoding_matches_dense(self):
+        dense_problem = MVCProblem(triangle_instance(weights=np.array([1.0, 2.0, 3.0])))
+        sparse_problem = MVCProblem(
+            MVCInstance.from_edges(
+                3, self.edge_list(), weights=np.array([1.0, 2.0, 3.0]), name="triangle"
+            )
+        )
+        assert (
+            dense_problem.encode().fingerprint() == sparse_problem.encode().fingerprint()
+        )
+
+    def test_sparse_generator_rejects_bad_arguments(self):
+        from repro.problems.mvc.generator import generate_sparse_mvc_instance
+
+        with pytest.raises(ValueError):
+            generate_sparse_mvc_instance(10)
+        with pytest.raises(ValueError):
+            generate_sparse_mvc_instance(10, num_edges=5, edge_density=0.1)
+        with pytest.raises(ValueError):
+            generate_sparse_mvc_instance(10, num_edges=0)
+        with pytest.raises(ValueError):
+            generate_sparse_mvc_instance(10, edge_density=1.5)
+
+    def test_edges_cache_is_read_only(self):
+        for instance in (triangle_instance(), MVCInstance.from_edges(3, self.edge_list())):
+            edges = instance.edges()
+            with pytest.raises(ValueError):
+                edges[0, 0] = 2
+
+    def test_sparse_generator_edge_density(self):
+        from repro.problems.mvc.generator import generate_sparse_mvc_instance
+
+        instance = generate_sparse_mvc_instance(20, edge_density=0.1, rng=0)
+        assert instance.num_edges == round(0.1 * 20 * 19 / 2)
+        assert instance.is_sparse
+
 
 class TestMVCProblem:
     def test_penalty_zero_iff_cover(self):

@@ -112,3 +112,62 @@ class TestSlackEncoding:
     def test_infeasible_constraint_raises(self):
         with pytest.raises(ValueError):
             slack_encode_inequality([1.0, 1.0], bound=-5.0)
+
+    @pytest.mark.parametrize("bound", [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 11.0, 100.0])
+    def test_slack_register_maximum_is_exactly_max_slack(self, bound):
+        # The top binary weight is capped: the register must reach max_slack
+        # exactly, never beyond (a plain power-of-two expansion overshoots for
+        # non-power-of-two max_slack and encodes infeasible slack values).
+        extended, _, num_slack = slack_encode_inequality([1.0, 1.0], bound=bound)
+        slack_weights = extended[2:]
+        assert slack_weights.shape[0] == num_slack
+        assert slack_weights.sum() == pytest.approx(bound)  # max_slack == bound here
+        assert np.all(slack_weights > 0)
+
+    @pytest.mark.parametrize("bound", [1.0, 3.0, 4.0, 5.0, 6.0, 7.0, 11.0])
+    def test_slack_register_reaches_every_integer_slack(self, bound):
+        extended, _, num_slack = slack_encode_inequality([1.0, 1.0], bound=bound)
+        slack_weights = extended[2:]
+        reachable = {0.0}
+        for weight in slack_weights:
+            reachable |= {value + weight for value in reachable}
+        for target in range(int(bound) + 1):
+            assert float(target) in reachable
+
+    def test_negative_coefficients_extend_max_slack(self):
+        extended, bound, num_slack = slack_encode_inequality([-2.0, 1.0], bound=3.0)
+        # max_slack = 3 - (-2) = 5 -> weights [1, 2, 2]
+        slack_weights = extended[2:]
+        assert num_slack == 3
+        assert slack_weights.sum() == pytest.approx(5.0)
+        np.testing.assert_allclose(slack_weights, [1.0, 2.0, 2.0])
+
+    def test_zero_max_slack_needs_no_bits(self):
+        extended, _, num_slack = slack_encode_inequality([1.0, 1.0], bound=0.0)
+        assert num_slack == 0
+        assert extended.shape[0] == 2
+
+
+class TestSparseConstraints:
+    def test_sparse_and_dense_penalties_match(self):
+        scipy_sparse = pytest.importorskip("scipy.sparse")
+        C = np.array([[1.0, 1.0, 0.0, 0.0], [0.0, 1.0, 1.0, 1.0]])
+        d = np.array([1.0, 2.0])
+        dense = LinearConstraints(C=C, d=d)
+        sparse = LinearConstraints(C=scipy_sparse.csr_array(C), d=d)
+        assert sparse.is_sparse and not dense.is_sparse
+        assert dense.penalty_qubo().to_dict() == sparse.penalty_qubo().to_dict()
+        for bits in range(16):
+            x = np.array([(bits >> i) & 1 for i in range(4)], dtype=float)
+            assert sparse.violation(x) == pytest.approx(dense.violation(x))
+            assert sparse.penalty_qubo().energy(x) == pytest.approx(dense.violation(x))
+
+    def test_sparse_shape_validation(self):
+        scipy_sparse = pytest.importorskip("scipy.sparse")
+        with pytest.raises(ValueError):
+            LinearConstraints(C=scipy_sparse.csr_array(np.ones((2, 3))), d=np.ones(3))
+
+    def test_forced_sparse_penalty_storage(self):
+        constraints = LinearConstraints(C=np.ones((1, 3)), d=np.array([1.0]))
+        assert constraints.penalty_qubo(storage="sparse").storage == "sparse"
+        assert constraints.penalty_qubo(storage="dense").storage == "dense"

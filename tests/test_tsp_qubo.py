@@ -29,6 +29,12 @@ class TestEncodingDecoding:
         with pytest.raises(ValueError):
             decode_assignment(np.full(9, 0.5), 3)
 
+    def test_decode_rejects_wrong_length(self):
+        with pytest.raises(ValueError, match="num_cities"):
+            decode_assignment(np.zeros(8, dtype=np.int8), 3)
+        with pytest.raises(ValueError, match="num_cities"):
+            decode_assignment(np.zeros(10, dtype=np.int8), 3)
+
     def test_decode_infeasible_returns_none(self):
         assert decode_assignment(np.zeros(9, dtype=np.int8), 3) is None
         assert decode_assignment(np.ones(9, dtype=np.int8), 3) is None
