@@ -189,16 +189,15 @@ class SamplingPlan:
             raise ValueError("num_reads must be positive")
 
 
-def evaluate_parameter(
-    problem: ConstrainedProblem,
-    solver: QUBOSolver,
-    parameter: float,
-    num_reads: int,
-    rng: RngLike = None,
+def summarise_samples(
+    problem: ConstrainedProblem, samples
 ) -> tuple[float, float, float, Optional[float]]:
-    """Run one solver call and return ``(Pf, Eavg, Estd, best_fitness)``."""
-    model = problem.build_qubo(parameter)
-    samples = solver.sample(model, num_reads=num_reads, rng=rng)
+    """Aggregate one batch of reads into ``(Pf, Eavg, Estd, best_fitness)``.
+
+    Split out of :func:`evaluate_parameter` so callers that obtained the
+    sample set elsewhere — e.g. from a distributed execution backend running
+    the solver in another process — compute the identical statistics.
+    """
     pf = samples.probability_of_feasibility(problem.is_feasible)
     energy_mean, energy_std = samples.energy_statistics()
     best_fitness: Optional[float] = None
@@ -211,6 +210,19 @@ def evaluate_parameter(
         if fitnesses:
             best_fitness = float(min(fitnesses))
     return pf, energy_mean, energy_std, best_fitness
+
+
+def evaluate_parameter(
+    problem: ConstrainedProblem,
+    solver: QUBOSolver,
+    parameter: float,
+    num_reads: int,
+    rng: RngLike = None,
+) -> tuple[float, float, float, Optional[float]]:
+    """Run one solver call and return ``(Pf, Eavg, Estd, best_fitness)``."""
+    model = problem.build_qubo(parameter)
+    samples = solver.sample(model, num_reads=num_reads, rng=rng)
+    return summarise_samples(problem, samples)
 
 
 def collect_instance_records(

@@ -44,6 +44,17 @@ def make_solver(profile: ExperimentProfile, backend: str) -> QUBOSolver:
     return registry.create(name, config=factory() if factory is not None else None)
 
 
+def solver_spec(profile: ExperimentProfile, backend: str) -> str:
+    """Registry spec string of the profile-sized solver for ``backend``.
+
+    The spec form is what crosses process boundaries: the distributed
+    execution backends ship it to their workers, which re-resolve a solver
+    with the identical config fingerprint.  Handy for configuring remote /
+    multiprocess runs from a profile without shipping solver objects.
+    """
+    return SolverRegistry.default().spec_for(make_solver(profile, backend))
+
+
 @dataclass(frozen=True)
 class ExperimentDatasets:
     """Train/test problem splits used by the comparison experiments."""

@@ -51,6 +51,12 @@ class ExperimentProfile:
     # MVC workload sizing (Appendix B study and the sparse-encoding path).
     mvc_num_vertices: int = 24
     mvc_edge_probability: float = 0.5
+    # Execution: where the tuning-comparison engine calls run.  ``None``
+    # inherits the process default (the ``QROSS_EXECUTION_BACKEND`` env var,
+    # ``"thread"`` out of the box); ``"process"`` fans the Python-heavy
+    # annealing loops of the comparison runs out across cores — worthwhile at
+    # ``small``/``paper`` scale, pure overhead for the smoke profile.
+    execution_backend: str | None = None
     # Reproducibility.
     seed: int = 2021
 

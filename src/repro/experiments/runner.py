@@ -9,6 +9,7 @@ optimality-gap curve.
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
@@ -20,6 +21,7 @@ from repro.core.tuner import QROSSTuner
 from repro.experiments.cache import SolverCallCache
 from repro.experiments.metrics import GapSummary, gap_curve, summarise_gap_curves
 from repro.problems.base import ConstrainedProblem
+from repro.service.distributed.backends import BackendLike
 from repro.service.service import SolveService, default_service
 from repro.solvers.base import QUBOSolver
 from repro.tuning.base import ParameterBounds, ParameterTuner, TrialHistory, TrialResult
@@ -27,6 +29,25 @@ from repro.tuning.bayesian_optimisation import BayesianOptimisationTuner
 from repro.tuning.random_search import RandomSearchTuner
 from repro.tuning.tpe import TPETuner
 from repro.utils.rng import RngLike, ensure_rng, spawn_rngs
+
+
+def _service_for(
+    service: Optional[SolveService], backend: BackendLike
+) -> tuple[SolveService, bool]:
+    """Resolve the ``service``/``backend`` pair of the runner entry points.
+
+    ``backend`` is sugar for "the default service wiring, but on this
+    execution backend"; passing both would be ambiguous.  Returns the service
+    plus whether the caller owns (and must close) it — true exactly when a
+    service was constructed here for the backend.  Closing such a service
+    releases only its thread pool: backends resolved from spec strings are
+    process-wide shared instances that stay warm for the next run.
+    """
+    if backend is None:
+        return (service or default_service()), False
+    if service is not None:
+        raise ValueError("pass either service= or backend=, not both")
+    return SolveService(backend=backend), True
 
 #: Signature of a factory producing a tuner for one instance.
 TunerFactory = Callable[[ConstrainedProblem, ParameterBounds, np.random.Generator], ParameterTuner]
@@ -111,32 +132,41 @@ def tune_instance(
     rng: RngLike = None,
     cache: Optional[SolverCallCache] = None,
     service: Optional[SolveService] = None,
+    backend: BackendLike = None,
 ) -> TrialHistory:
     """Run one tuner on one instance for ``num_trials`` solver calls.
 
     Every evaluation flows through the solve service (the shared default one
-    unless ``service`` is given); the RNG is passed through unchanged, so
-    seeded results are identical to the historical direct-call path.
+    unless ``service`` is given); the RNG is passed through unchanged, so on
+    an in-process backend seeded results are identical to the historical
+    direct-call path.  ``backend`` selects where the engine calls execute
+    (``"thread"``, ``"process"``, or an
+    :class:`~repro.service.distributed.backends.ExecutionBackend`) without
+    constructing a service by hand.
     """
     if num_trials <= 0:
         raise ValueError("num_trials must be positive")
     rng = ensure_rng(rng)
     cache = cache or SolverCallCache()
-    service = service or default_service()
-    history = TrialHistory()
-    for _ in range(num_trials):
-        parameter = tuner.bounds.clip(tuner.suggest(history))
-        outcome = service.evaluate(problem, solver, parameter, num_reads, rng=rng, cache=cache)
-        trial = TrialResult(
-            parameter=parameter,
-            probability_of_feasibility=outcome.probability_of_feasibility,
-            best_fitness=outcome.best_fitness,
-            energy_mean=outcome.energy_mean,
-            energy_std=outcome.energy_std,
-        )
-        history.append(trial)
-        tuner.observe(trial, history)
-    return history
+    service, owns_service = _service_for(service, backend)
+    try:
+        history = TrialHistory()
+        for _ in range(num_trials):
+            parameter = tuner.bounds.clip(tuner.suggest(history))
+            outcome = service.evaluate(problem, solver, parameter, num_reads, rng=rng, cache=cache)
+            trial = TrialResult(
+                parameter=parameter,
+                probability_of_feasibility=outcome.probability_of_feasibility,
+                best_fitness=outcome.best_fitness,
+                energy_mean=outcome.energy_mean,
+                energy_std=outcome.energy_std,
+            )
+            history.append(trial)
+            tuner.observe(trial, history)
+        return history
+    finally:
+        if owns_service:
+            service.close()
 
 
 def run_comparison(
@@ -149,46 +179,79 @@ def run_comparison(
     cache: Optional[SolverCallCache] = None,
     bounds_fn: Callable[[ConstrainedProblem], ParameterBounds] = default_bounds,
     service: Optional[SolveService] = None,
+    backend: BackendLike = None,
+    max_parallel: Optional[int] = None,
 ) -> ComparisonResult:
     """Run every method on every instance and collect gap curves.
 
     Each (instance, method) pair gets its own child random stream, so adding a
-    method or an instance does not perturb the results of the others.
+    method or an instance does not perturb the results of the others — and the
+    pairs are therefore *independent tuning loops* that can run concurrently.
+    ``backend`` selects the execution backend (``"process"`` fans the
+    Python-heavy annealing loops out across cores); when it is given, the
+    pairs are dispatched over the service pool (width ``max_parallel``,
+    default: the service's worker count) instead of sequentially.  With the
+    default per-pair caches (``cache=None``), results are identical either
+    way: the per-pair streams are pre-spawned, so scheduling order cannot
+    perturb them.  A *shared* ``cache=`` weakens that — which pair wins a
+    concurrent miss on a common evaluation key decides whose stream advances,
+    so parallel runs may then differ from sequential ones.
     """
     if not problems:
         raise ValueError("at least one problem is required")
     if not tuner_factories:
         raise ValueError("at least one tuner factory is required")
+    service, owns_service = _service_for(service, backend)
     result = ComparisonResult(methods=list(tuner_factories), num_trials=num_trials)
-    streams = spawn_rngs(rng, len(problems) * len(tuner_factories))
-    stream_index = 0
 
-    for problem in problems:
-        bounds = bounds_fn(problem)
-        reference = problem.reference_fitness()
-        if reference is None or reference <= 0:
-            raise ValueError(f"instance {problem.name!r} has no usable reference fitness")
-        for method, factory in tuner_factories.items():
-            stream = streams[stream_index]
-            stream_index += 1
-            tuner = factory(problem, bounds, stream)
-            history = tune_instance(
-                problem,
-                solver,
-                tuner,
-                num_trials=num_trials,
-                num_reads=num_reads,
-                rng=stream,
-                cache=cache,
-                service=service,
-            )
-            result.runs.append(
-                InstanceRunResult(
-                    instance_name=problem.name,
-                    method=method,
-                    history=history,
-                    gaps=gap_curve(history, reference, num_trials),
-                    reference_fitness=reference,
-                )
-            )
+    def run_pair(job) -> InstanceRunResult:
+        problem, bounds, reference, method, factory, stream = job
+        tuner = factory(problem, bounds, stream)
+        history = tune_instance(
+            problem,
+            solver,
+            tuner,
+            num_trials=num_trials,
+            num_reads=num_reads,
+            rng=stream,
+            cache=cache,
+            service=service,
+        )
+        return InstanceRunResult(
+            instance_name=problem.name,
+            method=method,
+            history=history,
+            gaps=gap_curve(history, reference, num_trials),
+            reference_fitness=reference,
+        )
+
+    if max_parallel is None:
+        max_parallel = service.max_workers if backend is not None else 1
+    try:
+        streams = spawn_rngs(rng, len(problems) * len(tuner_factories))
+        stream_index = 0
+        jobs = []
+        for problem in problems:
+            bounds = bounds_fn(problem)
+            reference = problem.reference_fitness()
+            if reference is None or reference <= 0:
+                raise ValueError(f"instance {problem.name!r} has no usable reference fitness")
+            for method, factory in tuner_factories.items():
+                stream = streams[stream_index]
+                stream_index += 1
+                jobs.append((problem, bounds, reference, method, factory, stream))
+
+        if max_parallel <= 1 or len(jobs) <= 1:
+            result.runs.extend(run_pair(job) for job in jobs)
+        else:
+            # Fan the independent (instance, method) loops out; each loop's
+            # solver calls still flow through the shared service (and its
+            # backend).
+            with ThreadPoolExecutor(
+                max_workers=min(max_parallel, len(jobs)), thread_name_prefix="qross-compare"
+            ) as pool:
+                result.runs.extend(pool.map(run_pair, jobs))
+    finally:
+        if owns_service:
+            service.close()
     return result

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass
-from typing import Dict, Mapping, Optional, Tuple
+from typing import Dict, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -507,6 +507,63 @@ class QUBOModel:
         if self._storage == "sparse":
             return float(np.abs(self._Q.data).max(initial=0.0))
         return float(np.abs(self._Q).max(initial=0.0))
+
+    # ---------------------------------------------------------------- wire I/O
+    def to_wire(self) -> Tuple[dict, Tuple[np.ndarray, ...]]:
+        """Header + raw numpy buffers for the cross-process wire format.
+
+        Dense models ship the symmetrised ``n x n`` float64 array; sparse
+        models ship the canonical CSR triplet — a sparse model is *never*
+        densified on its way across a process boundary.  The header carries
+        the fingerprint so :meth:`from_wire` can verify the reconstruction.
+        Framing (versioning, byte layout) lives in
+        :mod:`repro.service.distributed.wire`; this hook only decides what a
+        model *is* on the wire.
+        """
+        header = {
+            "storage": self._storage,
+            "num_variables": self.num_variables,
+            "offset": self._offset,
+            "name": self.name,
+            "fingerprint": self.fingerprint(),
+        }
+        if self._storage == "sparse":
+            buffers = (
+                np.asarray(self._Q.data, dtype=np.float64),
+                np.asarray(self._Q.indices, dtype=np.int64),
+                np.asarray(self._Q.indptr, dtype=np.int64),
+            )
+        else:
+            buffers = (self._dense(),)
+        return header, buffers
+
+    @classmethod
+    def from_wire(cls, header: dict, buffers: "Sequence[np.ndarray]") -> "QUBOModel":
+        """Rebuild a model from :meth:`to_wire` output, verifying the fingerprint."""
+        n = int(header["num_variables"])
+        if header["storage"] == "sparse":
+            if _sparse is None:
+                raise RuntimeError("scipy is required to decode a sparse QUBO model")
+            data, indices, indptr = buffers
+            Q = _sparse.csr_array(
+                (
+                    np.asarray(data, dtype=np.float64),
+                    np.asarray(indices, dtype=np.int64),
+                    np.asarray(indptr, dtype=np.int64),
+                ),
+                shape=(n, n),
+            )
+        else:
+            (Q,) = buffers
+            Q = np.asarray(Q, dtype=np.float64).reshape(n, n)
+        model = cls(Q, offset=float(header["offset"]), name=str(header.get("name", "")))
+        expected = header.get("fingerprint")
+        if expected is not None and model.fingerprint() != expected:
+            raise ValueError(
+                f"decoded QUBO model fingerprint {model.fingerprint()} does not "
+                f"match the encoded fingerprint {expected}; wire payload corrupt"
+            )
+        return model
 
     def fingerprint(self) -> str:
         """Stable hash of the coefficients, usable as a cache key.

@@ -157,6 +157,29 @@ class SampleSet:
             info=dict(self.info),
         )
 
+    def to_wire(self) -> tuple[dict, tuple[np.ndarray, ...]]:
+        """Header + raw numpy buffers for the cross-process wire format.
+
+        The three arrays ship verbatim (the set is already energy-sorted, and
+        re-sorting on reconstruction is stable, so round-trips are
+        byte-identical).  ``info`` travels in the JSON header — values must be
+        JSON-representable after the wire module's scalar coercion.
+        """
+        header = {"solver_name": self.solver_name, "info": self.info}
+        return header, (self._assignments, self._energies, self._num_occurrences)
+
+    @classmethod
+    def from_wire(cls, header: dict, buffers: Sequence[np.ndarray]) -> "SampleSet":
+        """Rebuild a sample set from :meth:`to_wire` output."""
+        assignments, energies, num_occurrences = buffers
+        return cls(
+            assignments,
+            energies,
+            num_occurrences,
+            solver_name=str(header.get("solver_name", "")),
+            info=dict(header.get("info") or {}),
+        )
+
     @classmethod
     def concatenate(cls, sample_sets: Sequence["SampleSet"]) -> "SampleSet":
         """Merge several batches (from repeated solver calls) into one.

@@ -17,6 +17,15 @@ or, for batched / asynchronous workloads:
 """
 
 from repro.service.cache import CachedEvaluation, SolverCallCache
+from repro.service.distributed import (
+    EXECUTION_BACKEND_ENV,
+    ExecutionBackend,
+    ProcessPoolBackend,
+    ShardedResultCache,
+    ThreadExecutionBackend,
+    resolve_backend,
+    shared_backend,
+)
 from repro.service.executor import (
     read_executor,
     read_worker_count,
@@ -25,6 +34,7 @@ from repro.service.executor import (
 from repro.service.registry import (
     RegisteredBackend,
     SolverRegistry,
+    SpecSerializationError,
     make_solver,
     parse_spec,
 )
@@ -36,6 +46,7 @@ __all__ = [
     "SolverCallCache",
     "SolverRegistry",
     "RegisteredBackend",
+    "SpecSerializationError",
     "make_solver",
     "parse_spec",
     "SolveRequest",
@@ -46,4 +57,11 @@ __all__ = [
     "read_executor",
     "read_worker_count",
     "shutdown_read_executor",
+    "EXECUTION_BACKEND_ENV",
+    "ExecutionBackend",
+    "ThreadExecutionBackend",
+    "ProcessPoolBackend",
+    "ShardedResultCache",
+    "resolve_backend",
+    "shared_backend",
 ]

@@ -11,8 +11,14 @@ The :class:`~repro.service.service.SolveService` additionally dedupes whole
 *seeded* solver calls through this class: identical requests (same QUBO
 fingerprint, solver fingerprint, reads and seed) execute the engine exactly
 once and every duplicate is served the stored :class:`SampleSet`.  Sample-set
-entries are deterministic by construction (the seed pins the stream), live
-only in memory, and are never part of the JSON persistence.
+entries are deterministic by construction (the seed pins the stream) and live
+in memory; they are never part of the JSON persistence — to keep them across
+processes and runs, tier the cache onto a
+:class:`~repro.service.distributed.sharded_cache.ShardedResultCache` via the
+``persistent=`` parameter, which write-throughs sample sets to a
+fingerprint-sharded on-disk store and falls back to it on memory misses
+(aggregate evaluation entries additionally require the
+``persist_evaluations=True`` opt-in — their keys carry no seed).
 
 All mutating paths are lock-protected so the cache can sit behind a
 thread-pooled service.
@@ -25,7 +31,12 @@ import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Optional, Tuple
+
+from repro.utils.io import atomic_write_bytes
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (distributed imports us)
+    from repro.service.distributed.sharded_cache import ShardedResultCache
 
 from repro.core.dataset import evaluate_parameter
 from repro.problems.base import ConstrainedProblem
@@ -44,6 +55,26 @@ class CachedEvaluation:
     energy_std: float
     best_fitness: Optional[float]
 
+    def to_json_dict(self) -> dict:
+        """The JSON shape shared by every persistence path (save files, disk tiers)."""
+        return {
+            "pf": self.probability_of_feasibility,
+            "energy_mean": self.energy_mean,
+            "energy_std": self.energy_std,
+            "best_fitness": self.best_fitness,
+        }
+
+    @classmethod
+    def from_json_dict(cls, payload: dict) -> "CachedEvaluation":
+        return cls(
+            probability_of_feasibility=float(payload["pf"]),
+            energy_mean=float(payload["energy_mean"]),
+            energy_std=float(payload["energy_std"]),
+            best_fitness=(
+                None if payload["best_fitness"] is None else float(payload["best_fitness"])
+            ),
+        )
+
 
 class SolverCallCache:
     """In-memory (optionally JSON-persisted) cache of solver-call statistics.
@@ -52,15 +83,38 @@ class SolverCallCache:
     aggregate entries, each sample set holds a full ``(reads, n)`` assignment
     matrix, so the store is an LRU — least-recently-used sets are evicted once
     the bound is hit (an evicted seeded request simply re-runs, bitwise
-    identically, on its next appearance).
+    identically, on its next appearance — or is re-read from the persistent
+    tier, which the LRU bound does not apply to).
+
+    ``persistent`` tiers the cache onto an on-disk
+    :class:`~repro.service.distributed.sharded_cache.ShardedResultCache`:
+    every sample-set store is written through, every memory miss falls back to
+    disk (and re-populates memory on a hit), so identical seeded calls hit
+    across processes and across runs.  Sample keys include the seed, so a disk
+    hit is *exact* — the entry is bit-identical to re-running the call.
+
+    Aggregate evaluation entries are keyed **without** a seed (the historical
+    within-run dedup semantics), so persisting them would let one run serve
+    statistics produced by another run's random stream.  That is only sound
+    when callers treat the statistics as interchangeable estimates, so it is
+    opt-in: ``persist_evaluations=True``.
     """
 
-    def __init__(self, max_sample_entries: int = 256) -> None:
+    def __init__(
+        self,
+        max_sample_entries: int = 256,
+        persistent: "Optional[ShardedResultCache]" = None,
+        persist_evaluations: bool = False,
+    ) -> None:
         if max_sample_entries <= 0:
             raise ValueError("max_sample_entries must be positive")
+        if persist_evaluations and persistent is None:
+            raise ValueError("persist_evaluations=True requires persistent=")
         self._entries: Dict[str, CachedEvaluation] = {}
         self._samples: "OrderedDict[str, SampleSet]" = OrderedDict()
         self.max_sample_entries = max_sample_entries
+        self.persistent = persistent
+        self.persist_evaluations = persist_evaluations
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
@@ -70,7 +124,18 @@ class SolverCallCache:
     def evaluation_key(
         problem: ConstrainedProblem, solver: QUBOSolver, parameter: float, num_reads: int
     ) -> str:
-        """Cache key of an aggregate (instance, solver, parameter, reads) evaluation."""
+        """Cache key of an aggregate (instance, solver, parameter, reads) evaluation.
+
+        Deliberately seed-free (the historical within-run dedup semantics):
+        two evaluations of the same tuple are treated as interchangeable
+        estimates.  That also means the key does not distinguish *execution
+        backends* — the in-process path consumes the caller's live stream
+        while out-of-process backends derive a child seed, so a cache shared
+        across differently-backed services serves whichever stream's
+        statistics landed first.  Callers that need stream-exact results
+        should key on the sample path (:meth:`sample_key`, which includes the
+        seed) or use per-run caches.
+        """
         fingerprint = getattr(problem, "instance", problem)
         fingerprint = getattr(fingerprint, "fingerprint", lambda: problem.name)()
         # The solver name alone is ambiguous: two instances of the same backend
@@ -97,36 +162,62 @@ class SolverCallCache:
 
     # ----------------------------------------------------------- entry access
     def lookup(self, key: str) -> Optional[CachedEvaluation]:
-        """Fetch an aggregate entry, counting the hit or miss."""
+        """Fetch an aggregate entry (memory, then the opt-in persistent tier)."""
         with self._lock:
             entry = self._entries.get(key)
+            if entry is not None:
+                self.hits += 1
+                return entry
+            if not self.persist_evaluations:
+                self.misses += 1
+                return None
+        # Disk I/O happens outside the lock; a hit re-populates memory.
+        entry = self.persistent.lookup_evaluation(key)
+        with self._lock:
             if entry is None:
                 self.misses += 1
             else:
                 self.hits += 1
-            return entry
+                self._entries[key] = entry
+        return entry
 
     def store(self, key: str, entry: CachedEvaluation) -> None:
         with self._lock:
             self._entries[key] = entry
+        if self.persist_evaluations:
+            self.persistent.store_evaluation(key, entry)
 
     def lookup_samples(self, key: str) -> Optional[SampleSet]:
-        """Fetch a deduped sample set, counting the hit or miss."""
+        """Fetch a deduped sample set (memory LRU, then the persistent tier)."""
         with self._lock:
             samples = self._samples.get(key)
+            if samples is not None:
+                self.hits += 1
+                self._samples.move_to_end(key)
+                return samples
+            if self.persistent is None:
+                self.misses += 1
+                return None
+        samples = self.persistent.lookup_samples(key)
+        with self._lock:
             if samples is None:
                 self.misses += 1
             else:
                 self.hits += 1
-                self._samples.move_to_end(key)
-            return samples
+                self._store_samples_locked(key, samples)
+        return samples
 
     def store_samples(self, key: str, samples: SampleSet) -> None:
         with self._lock:
-            self._samples[key] = samples
-            self._samples.move_to_end(key)
-            while len(self._samples) > self.max_sample_entries:
-                self._samples.popitem(last=False)
+            self._store_samples_locked(key, samples)
+        if self.persistent is not None:
+            self.persistent.store_samples(key, samples)
+
+    def _store_samples_locked(self, key: str, samples: SampleSet) -> None:
+        self._samples[key] = samples
+        self._samples.move_to_end(key)
+        while len(self._samples) > self.max_sample_entries:
+            self._samples.popitem(last=False)
 
     def evaluate(
         self,
@@ -156,17 +247,27 @@ class SolverCallCache:
 
     # ------------------------------------------------------------ persistence
     def save(self, path: str | Path) -> None:
-        """Write the aggregate entries to a JSON file (sample sets stay in memory)."""
-        payload = {
-            key: {
-                "pf": entry.probability_of_feasibility,
-                "energy_mean": entry.energy_mean,
-                "energy_std": entry.energy_std,
-                "best_fitness": entry.best_fitness,
-            }
-            for key, entry in self._entries.items()
-        }
-        Path(path).write_text(json.dumps(payload))
+        """Write the aggregate entries to a JSON file, atomically.
+
+        The payload is written to a temp file in the destination directory and
+        moved into place with ``os.replace``, so a *process* crash mid-save
+        (or two processes saving concurrently) can never leave a
+        truncated/interleaved file behind — a reader sees either the old
+        complete file or the new one.  (Power-loss durability is out of
+        scope: the write is not fsynced before the rename.)
+
+        Only the aggregate statistics are persisted.  **Sample sets are
+        deliberately not included**: each one holds a full ``(reads, n)``
+        assignment matrix, which does not belong in a JSON summary file.  To
+        persist them — and the aggregate entries — across processes and runs,
+        construct the cache with
+        ``persistent=ShardedResultCache(directory)``; every entry is then
+        write-through to disk as it is created, which supersedes ``save`` for
+        everything except producing a single shareable summary file.
+        """
+        with self._lock:
+            payload = {key: entry.to_json_dict() for key, entry in self._entries.items()}
+        atomic_write_bytes(path, json.dumps(payload).encode("utf-8"))
 
     @classmethod
     def load(cls, path: str | Path) -> "SolverCallCache":
@@ -174,10 +275,5 @@ class SolverCallCache:
         cache = cls()
         payload = json.loads(Path(path).read_text())
         for key, entry in payload.items():
-            cache._entries[key] = CachedEvaluation(
-                probability_of_feasibility=float(entry["pf"]),
-                energy_mean=float(entry["energy_mean"]),
-                energy_std=float(entry["energy_std"]),
-                best_fitness=None if entry["best_fitness"] is None else float(entry["best_fitness"]),
-            )
+            cache._entries[key] = CachedEvaluation.from_json_dict(entry)
         return cache

@@ -1,0 +1,62 @@
+"""Distributed execution subsystem of the solve service.
+
+Three pieces, layered so each is useful on its own:
+
+* :mod:`~repro.service.distributed.wire` — a compact, versioned, pickle-free
+  wire format (JSON header + raw numpy buffers) for QUBO models (dense *and*
+  CSR, never densifying), sample sets, solve requests/results and engine
+  calls, so work can cross process boundaries;
+* :mod:`~repro.service.distributed.backends` — the :class:`ExecutionBackend`
+  seam behind :class:`~repro.service.service.SolveService`: the in-thread
+  backend (today's behaviour, byte-identical) and
+  :class:`ProcessPoolBackend`, which ships engine calls to spawn-safe worker
+  processes that re-resolve the solver from its registry spec; and
+* :mod:`~repro.service.distributed.sharded_cache` — an on-disk,
+  fingerprint-sharded result store :class:`~repro.service.cache.SolverCallCache`
+  tiers onto, giving repeated ``(model, solver, seed)`` calls cache hits
+  across processes and across runs.
+"""
+
+from repro.service.distributed.backends import (
+    EXECUTION_BACKEND_ENV,
+    ExecutionBackend,
+    ProcessPoolBackend,
+    ThreadExecutionBackend,
+    resolve_backend,
+    shared_backend,
+)
+from repro.service.distributed.sharded_cache import ShardedResultCache
+from repro.service.distributed.wire import (
+    WireFormatError,
+    decode_engine_call,
+    decode_model,
+    decode_request,
+    decode_result,
+    decode_sample_set,
+    encode_engine_call,
+    encode_model,
+    encode_request,
+    encode_result,
+    encode_sample_set,
+)
+
+__all__ = [
+    "EXECUTION_BACKEND_ENV",
+    "ExecutionBackend",
+    "ThreadExecutionBackend",
+    "ProcessPoolBackend",
+    "resolve_backend",
+    "shared_backend",
+    "ShardedResultCache",
+    "WireFormatError",
+    "encode_model",
+    "decode_model",
+    "encode_sample_set",
+    "decode_sample_set",
+    "encode_engine_call",
+    "decode_engine_call",
+    "encode_request",
+    "decode_request",
+    "encode_result",
+    "decode_result",
+]

@@ -1,0 +1,159 @@
+"""On-disk, fingerprint-sharded result store shared across processes and runs.
+
+:class:`ShardedResultCache` persists the two kinds of entries
+:class:`~repro.service.cache.SolverCallCache` holds:
+
+* *sample sets* — full seeded solver calls, stored as wire frames
+  (:mod:`~repro.service.distributed.wire`), keyed by the same
+  ``(model fingerprint, solver fingerprint, reads, seed)`` key the in-memory
+  dedup uses.  Seeded calls are deterministic, so a disk hit is exact — a
+  repeated sweep re-run in a new process performs zero solver calls.
+* *aggregate evaluations* — the tiny ``(Pf, Eavg, Estd, best_fitness)``
+  records the tuning loops consume, stored as JSON.  Their keys carry no
+  seed, so a cross-run hit returns statistics produced by another run's
+  random stream — which is why :class:`SolverCallCache` only tiers them
+  when explicitly asked (``persist_evaluations=True``).
+
+Layout (versioned so future format changes cannot misread old trees)::
+
+    <root>/v1/<shard>/<sha256(key)>.samples   (wire frame)
+    <root>/v1/<shard>/<sha256(key)>.eval.json
+
+where ``<shard>`` is the first two hex digits of the key hash — 256 buckets
+keep directory listings short at millions of entries and give concurrent
+writers (multiple runs, multiple service processes) naturally disjoint paths.
+
+Every write goes through a temp file in the target directory followed by
+``os.replace``: readers never observe a partial entry, a crash mid-write
+leaves at most a stale temp file, and concurrent writers of the *same* key
+(deterministic payloads) last-write-win with either side valid.  Corrupt or
+truncated entries read as cache misses and are removed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+from pathlib import Path
+from typing import Optional
+
+from repro.qubo.sampleset import SampleSet
+from repro.service.cache import CachedEvaluation
+from repro.utils.io import atomic_write_bytes
+
+#: Bump when the on-disk layout or entry encoding changes incompatibly; old
+#: trees then simply stop matching (they live under their own ``v<N>/`` dir).
+LAYOUT_VERSION = 1
+
+_SAMPLES_SUFFIX = ".samples"
+_EVAL_SUFFIX = ".eval.json"
+
+
+class ShardedResultCache:
+    """Filesystem-backed result store, safe under concurrent readers/writers.
+
+    Parameters
+    ----------
+    root:
+        Directory of the store (created on demand).  Multiple processes and
+        multiple runs may point at the same root concurrently.
+    """
+
+    def __init__(self, root: "str | Path") -> None:
+        self.root = Path(root).expanduser()
+        self._version_dir = self.root / f"v{LAYOUT_VERSION}"
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"ShardedResultCache(root={str(self.root)!r})"
+
+    # ------------------------------------------------------------------ layout
+    def _entry_path(self, key: str, suffix: str) -> Path:
+        digest = hashlib.sha256(key.encode("utf-8")).hexdigest()
+        return self._version_dir / digest[:2] / f"{digest}{suffix}"
+
+    def _read(self, path: Path) -> Optional[bytes]:
+        try:
+            data = path.read_bytes()
+        except OSError:
+            with self._lock:
+                self.misses += 1
+            return None
+        with self._lock:
+            self.hits += 1
+        return data
+
+    def _drop_corrupt(self, path: Path) -> None:
+        """A partial/corrupt entry is worth less than a miss: remove it."""
+        try:
+            path.unlink()
+        except OSError:
+            pass
+        with self._lock:
+            self.hits -= 1
+            self.misses += 1
+
+    # ------------------------------------------------------------- sample sets
+    def lookup_samples(self, key: str) -> Optional[SampleSet]:
+        """Fetch a stored seeded solver call, or ``None``."""
+        from repro.service.distributed import wire
+
+        path = self._entry_path(key, _SAMPLES_SUFFIX)
+        data = self._read(path)
+        if data is None:
+            return None
+        try:
+            return wire.decode_sample_set(data)
+        except (wire.WireFormatError, ValueError, KeyError, TypeError):
+            # TypeError covers e.g. np.dtype() on a bit-flipped dtype string.
+            self._drop_corrupt(path)
+            return None
+
+    def store_samples(self, key: str, samples: SampleSet) -> None:
+        """Persist one seeded solver call atomically."""
+        from repro.service.distributed import wire
+
+        atomic_write_bytes(self._entry_path(key, _SAMPLES_SUFFIX), wire.encode_sample_set(samples))
+
+    # ------------------------------------------------------------- evaluations
+    def lookup_evaluation(self, key: str) -> Optional[CachedEvaluation]:
+        """Fetch a stored aggregate evaluation, or ``None``."""
+        path = self._entry_path(key, _EVAL_SUFFIX)
+        data = self._read(path)
+        if data is None:
+            return None
+        try:
+            return CachedEvaluation.from_json_dict(json.loads(data.decode("utf-8")))
+        except (UnicodeDecodeError, json.JSONDecodeError, KeyError, TypeError, ValueError):
+            self._drop_corrupt(path)
+            return None
+
+    def store_evaluation(self, key: str, entry: CachedEvaluation) -> None:
+        """Persist one aggregate evaluation atomically.
+
+        The key is stored alongside the statistics — hashes are one-way, so
+        without it a tree could not be audited or selectively invalidated.
+        """
+        payload = {"key": key, **entry.to_json_dict()}
+        atomic_write_bytes(
+            self._entry_path(key, _EVAL_SUFFIX),
+            json.dumps(payload, separators=(",", ":")).encode("utf-8"),
+        )
+
+    # ------------------------------------------------------------------- misc
+    def entry_counts(self) -> dict:
+        """``{"samples": n, "evaluations": m}`` — a full-tree scan, for tooling."""
+        samples = evaluations = 0
+        if self._version_dir.is_dir():
+            for shard in self._version_dir.iterdir():
+                if not shard.is_dir():
+                    continue
+                for entry in shard.iterdir():
+                    if entry.name.endswith(_EVAL_SUFFIX):
+                        evaluations += 1
+                    elif entry.name.endswith(_SAMPLES_SUFFIX):
+                        samples += 1
+        return {"samples": samples, "evaluations": evaluations}

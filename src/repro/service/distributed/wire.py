@@ -1,0 +1,305 @@
+"""Versioned, pickle-free wire format for cross-process solve traffic.
+
+Every payload is one *frame*::
+
+    b"QRWF" | format_version (u8) | header_length (u32 LE) | header JSON | buffers
+
+The JSON header carries all scalar fields plus a manifest of the numpy
+buffers that follow (dtype string and shape); the buffers themselves are the
+raw little-endian bytes, concatenated in manifest order.  Nothing is pickled:
+a frame produced by one Python/numpy version decodes under any other, and a
+hostile payload can at worst fail validation — it cannot execute code.
+
+What travels on the wire is decided by the objects themselves
+(:meth:`QUBOModel.to_wire` / :meth:`SampleSet.to_wire` — the serialization
+hooks in :mod:`repro.qubo`); this module owns the framing and the composite
+payloads (engine calls, requests, results).  Sparse models ship their CSR
+triplet and are rebuilt as CSR — crossing a process boundary never densifies
+a model.  Solvers travel as registry spec strings and are re-resolved inside
+the receiving process.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import struct
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.qubo.model import QUBOModel
+from repro.qubo.sampleset import SampleSet
+from repro.service.requests import SolveRequest, SolveResult
+
+MAGIC = b"QRWF"
+FORMAT_VERSION = 1
+
+_PREFIX = struct.Struct("<4sBI")  # magic, format version, header length
+
+
+class WireFormatError(ValueError):
+    """A payload is not a valid frame of the supported format version."""
+
+
+# --------------------------------------------------------------------- helpers
+def _jsonify(value):
+    """Coerce numpy scalars/arrays inside free-form metadata to JSON types."""
+    if isinstance(value, dict):
+        return {str(key): _jsonify(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonify(item) for item in value]
+    if isinstance(value, np.ndarray):
+        return _jsonify(value.tolist())
+    if isinstance(value, np.bool_):
+        return bool(value)
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    # Free-form info values that are none of the above (e.g. a Path) degrade
+    # to their string form rather than failing the whole frame.
+    return str(value)
+
+
+def _wire_buffer(buffer: np.ndarray) -> np.ndarray:
+    """Contiguous little-endian view/copy of a buffer, ready to ship."""
+    arr = np.ascontiguousarray(buffer)
+    if arr.dtype.byteorder == ">":
+        arr = arr.astype(arr.dtype.newbyteorder("<"))
+    return arr
+
+
+# --------------------------------------------------------------------- framing
+def encode_frame(kind: str, header: dict, buffers: Sequence[np.ndarray] = ()) -> bytes:
+    """Assemble one frame from a header dict and its numpy buffers."""
+    shipped = [_wire_buffer(buffer) for buffer in buffers]
+    manifest = [{"dtype": arr.dtype.str, "shape": list(arr.shape)} for arr in shipped]
+    payload = dict(header)
+    payload["kind"] = kind
+    payload["buffers"] = manifest
+    header_bytes = json.dumps(_jsonify(payload), separators=(",", ":")).encode("utf-8")
+    parts = [_PREFIX.pack(MAGIC, FORMAT_VERSION, len(header_bytes)), header_bytes]
+    parts.extend(arr.tobytes() for arr in shipped)
+    return b"".join(parts)
+
+
+def decode_frame(
+    data: bytes, expected_kind: Optional[str] = None
+) -> Tuple[str, dict, List[np.ndarray]]:
+    """Split a frame back into ``(kind, header, buffers)``, validating layout."""
+    if len(data) < _PREFIX.size:
+        raise WireFormatError(f"frame truncated: {len(data)} bytes")
+    magic, version, header_length = _PREFIX.unpack_from(data)
+    if magic != MAGIC:
+        raise WireFormatError(f"bad magic {magic!r}; not a wire frame")
+    if version != FORMAT_VERSION:
+        raise WireFormatError(
+            f"unsupported wire format version {version} (supported: {FORMAT_VERSION})"
+        )
+    offset = _PREFIX.size
+    if len(data) < offset + header_length:
+        raise WireFormatError("frame truncated inside the header")
+    try:
+        header = json.loads(data[offset : offset + header_length].decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise WireFormatError(f"invalid frame header: {exc}") from exc
+    offset += header_length
+    kind = header.pop("kind", None)
+    if expected_kind is not None and kind != expected_kind:
+        raise WireFormatError(f"expected a {expected_kind!r} frame, got {kind!r}")
+    buffers: List[np.ndarray] = []
+    view = memoryview(data)
+    for entry in header.pop("buffers", []):
+        dtype = np.dtype(entry["dtype"])
+        shape = tuple(int(axis) for axis in entry["shape"])
+        if any(axis < 0 for axis in shape):
+            # A negative axis would make nbytes negative and rewind `offset`,
+            # aliasing buffers over each other — never a valid frame.
+            raise WireFormatError(f"invalid buffer shape {shape} in frame manifest")
+        # Python ints cannot wrap, so an absurd crafted shape fails the
+        # truncation check below instead of slipping past it via overflow.
+        nbytes = dtype.itemsize * math.prod(shape)
+        if len(data) < offset + nbytes:
+            raise WireFormatError("frame truncated inside a buffer")
+        buffers.append(np.frombuffer(view[offset : offset + nbytes], dtype=dtype).reshape(shape))
+        offset += nbytes
+    if offset != len(data):
+        raise WireFormatError(f"{len(data) - offset} trailing bytes after the last buffer")
+    return str(kind), header, buffers
+
+
+# ----------------------------------------------------------- concrete payloads
+def encode_model(model: QUBOModel) -> bytes:
+    """One QUBO model as a frame (dense array or CSR triplet + metadata)."""
+    header, buffers = model.to_wire()
+    return encode_frame("qubo_model", header, buffers)
+
+
+def decode_model(data: bytes) -> QUBOModel:
+    _, header, buffers = decode_frame(data, expected_kind="qubo_model")
+    return QUBOModel.from_wire(header, buffers)
+
+
+def encode_sample_set(samples: SampleSet) -> bytes:
+    """One sample set as a frame (assignments/energies/occurrences + info)."""
+    header, buffers = samples.to_wire()
+    return encode_frame("sample_set", header, buffers)
+
+
+def decode_sample_set(data: bytes) -> SampleSet:
+    _, header, buffers = decode_frame(data, expected_kind="sample_set")
+    return SampleSet.from_wire(header, buffers)
+
+
+def encode_engine_call(
+    model: QUBOModel, solver_spec: str, num_reads: int, seed: int
+) -> bytes:
+    """One engine call: the resolved model, a solver spec, reads and a seed.
+
+    This is the unit of work the process pool ships to a worker.  The seed is
+    always concrete by the time a call is encoded — the service derives child
+    seeds for unseeded requests before dispatch, so the worker simply runs
+    ``solver.sample(model, num_reads, rng=default_rng(seed))``.
+    """
+    model_header, buffers = model.to_wire()
+    header = {
+        "solver_spec": str(solver_spec),
+        "num_reads": int(num_reads),
+        "seed": int(seed),
+        "model": model_header,
+    }
+    return encode_frame("engine_call", header, buffers)
+
+
+def encode_engine_call_ref(
+    fingerprint: str, solver_spec: str, num_reads: int, seed: int
+) -> bytes:
+    """An engine call referencing a model by fingerprint instead of shipping it.
+
+    Workers memoise decoded models, so a sweep of many calls against one
+    model only pays the model transfer once per worker; a worker that does
+    not hold the fingerprint answers with a ``model_miss`` frame
+    (:func:`encode_model_miss`) and the caller retries with the full payload.
+    """
+    header = {
+        "solver_spec": str(solver_spec),
+        "num_reads": int(num_reads),
+        "seed": int(seed),
+        "model_ref": str(fingerprint),
+    }
+    return encode_frame("engine_call", header)
+
+
+def encode_model_miss(fingerprint: str) -> bytes:
+    """A worker's "I do not hold this model" answer to a by-reference call."""
+    return encode_frame("model_miss", {"model_ref": str(fingerprint)})
+
+
+def decode_engine_call(data: bytes) -> Tuple[QUBOModel, str, int, int]:
+    """Decode a full engine call into ``(model, solver_spec, num_reads, seed)``.
+
+    By-reference frames (``model_ref``) have no model payload and are handled
+    by the worker loop directly; decoding one here is an error.
+    """
+    _, header, buffers = decode_frame(data, expected_kind="engine_call")
+    if header.get("model_ref") is not None:
+        raise WireFormatError("engine call is by-reference; it carries no model")
+    model = QUBOModel.from_wire(header["model"], buffers)
+    return model, str(header["solver_spec"]), int(header["num_reads"]), int(header["seed"])
+
+
+def encode_request(request: SolveRequest, registry=None) -> bytes:
+    """One :class:`SolveRequest` as a frame.
+
+    The solver is reduced to its registry spec (via
+    :meth:`~repro.service.registry.SolverRegistry.spec_for` when an instance
+    was given) and problem-based requests materialise their relaxed model
+    through the problem's encoding cache — what travels is always
+    ``(model, spec, reads, seed, label)``, the reproducible core of the call.
+    The ``from_problem``/``relaxation_parameter`` header fields are audit
+    provenance only: problems are not serialisable, so :func:`decode_request`
+    reconstructs a model-based request and leaves them unread.
+    """
+    from repro.service.registry import SolverRegistry
+
+    registry = registry or SolverRegistry.default()
+    spec = registry.spec_for(request.solver)
+    model_header, buffers = request.resolve_model().to_wire()
+    header = {
+        "solver_spec": spec,
+        "num_reads": int(request.num_reads),
+        "seed": None if request.seed is None else int(request.seed),
+        "label": request.label,
+        "from_problem": request.problem is not None,
+        "relaxation_parameter": (
+            None
+            if request.relaxation_parameter is None
+            else float(request.relaxation_parameter)
+        ),
+        "model": model_header,
+    }
+    return encode_frame("solve_request", header, buffers)
+
+
+def decode_request(data: bytes) -> SolveRequest:
+    """Decode a request frame into a model-based :class:`SolveRequest`."""
+    _, header, buffers = decode_frame(data, expected_kind="solve_request")
+    return _request_from_header(header, buffers)
+
+
+def _request_from_header(header: dict, buffers: Sequence[np.ndarray]) -> SolveRequest:
+    model = QUBOModel.from_wire(header["model"], buffers)
+    seed = header.get("seed")
+    return SolveRequest(
+        solver=str(header["solver_spec"]),
+        model=model,
+        num_reads=int(header["num_reads"]),
+        seed=None if seed is None else int(seed),
+        label=str(header.get("label", "")),
+    )
+
+
+def encode_result(result: SolveResult, registry=None) -> bytes:
+    """One :class:`SolveResult` as a frame: request + samples + provenance."""
+    from repro.service.registry import SolverRegistry
+
+    registry = registry or SolverRegistry.default()
+    request = result.request
+    request_header = {
+        "solver_spec": registry.spec_for(request.solver),
+        "num_reads": int(request.num_reads),
+        "seed": None if request.seed is None else int(request.seed),
+        "label": request.label,
+        "model": None,
+    }
+    model_header, model_buffers = request.resolve_model().to_wire()
+    request_header["model"] = model_header
+    samples_header, samples_buffers = result.samples.to_wire()
+    header = {
+        "request": request_header,
+        "samples": samples_header,
+        "solver_name": result.solver_name,
+        "solver_fingerprint": result.solver_fingerprint,
+        "from_cache": bool(result.from_cache),
+        "batched_group_size": int(result.batched_group_size),
+        "num_model_buffers": len(model_buffers),
+    }
+    return encode_frame("solve_result", header, tuple(model_buffers) + samples_buffers)
+
+
+def decode_result(data: bytes) -> SolveResult:
+    _, header, buffers = decode_frame(data, expected_kind="solve_result")
+    split = int(header["num_model_buffers"])
+    request = _request_from_header(header["request"], buffers[:split])
+    samples = SampleSet.from_wire(header["samples"], buffers[split:])
+    return SolveResult(
+        request=request,
+        samples=samples,
+        solver_name=str(header["solver_name"]),
+        solver_fingerprint=str(header["solver_fingerprint"]),
+        from_cache=bool(header["from_cache"]),
+        batched_group_size=int(header["batched_group_size"]),
+    )

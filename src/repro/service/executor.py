@@ -29,6 +29,17 @@ READ_WORKERS_ENV = "QROSS_READ_WORKERS"
 
 _read_executor: Optional[ThreadPoolExecutor] = None
 _read_workers: int = 0
+#: Pools replaced by a mid-run width change.  They are *not* shut down at
+#: replacement time: a solver that fetched the old pool reference may still be
+#: fanning reads out to it, and ``ThreadPoolExecutor.shutdown`` immediately
+#: rejects new submissions.  Retired pools idle (their threads park on an
+#: empty queue) until :func:`shutdown_read_executor` drains them — except that
+#: the list is bounded: beyond :data:`_MAX_RETIRED_READ_EXECUTORS` generations
+#: the oldest pool is shut down without waiting (its in-flight reads still
+#: finish; only a caller clinging to a reference across that many width
+#: changes could see a rejected submission).
+_retired_read_executors: list = []
+_MAX_RETIRED_READ_EXECUTORS = 4
 _lock = threading.Lock()
 
 
@@ -51,7 +62,11 @@ def read_executor() -> Optional[ThreadPoolExecutor]:
     with _lock:
         if _read_executor is None or _read_workers != workers:
             if _read_executor is not None:
-                _read_executor.shutdown(wait=False)
+                # Defer teardown: callers holding the old reference must be
+                # able to finish (and even submit) their in-flight fan-outs.
+                _retired_read_executors.append(_read_executor)
+                while len(_retired_read_executors) > _MAX_RETIRED_READ_EXECUTORS:
+                    _retired_read_executors.pop(0).shutdown(wait=False)
             _read_executor = ThreadPoolExecutor(
                 max_workers=workers, thread_name_prefix="qross-read"
             )
@@ -65,13 +80,18 @@ def read_worker_count() -> int:
 
 
 def shutdown_read_executor() -> None:
-    """Tear down the shared read pool (used by tests and interpreter exit)."""
+    """Tear down the shared read pool and drain any pools retired by rebuilds
+    (used by tests and interpreter exit)."""
     global _read_executor, _read_workers
     with _lock:
+        executors = list(_retired_read_executors)
+        _retired_read_executors.clear()
         if _read_executor is not None:
-            _read_executor.shutdown(wait=True)
+            executors.append(_read_executor)
             _read_executor = None
             _read_workers = 0
+    for executor in executors:
+        executor.shutdown(wait=True)
 
 
 def _configured_read_workers() -> int:

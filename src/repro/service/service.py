@@ -21,8 +21,16 @@ objects and
 The aggregate-statistics path used by the tuners
 (:meth:`SolveService.evaluate`) and the raw passthrough
 (:meth:`SolveService.sample`) run on the same pool, so every solver call in
-the library flows through one seam — the place to later hang sharding,
-multiprocess or GPU backends.
+the library flows through one seam.
+
+Where the engine call itself executes is delegated to an
+:class:`~repro.service.distributed.backends.ExecutionBackend`: the default
+``"thread"`` backend runs it on the service's pool threads (byte-identical to
+the historical behaviour), while ``"process"`` ships it to a pool of worker
+processes over the wire format — the Python-level portions of the annealing
+loops then scale across cores instead of serialising on the GIL.  Select a
+backend per service (``SolveService(backend="process")``) or globally via the
+``QROSS_EXECUTION_BACKEND`` environment variable.
 """
 
 from __future__ import annotations
@@ -34,11 +42,12 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.core.dataset import evaluate_parameter
+from repro.core.dataset import summarise_samples
 from repro.problems.base import ConstrainedProblem
 from repro.qubo.model import QUBOModel
 from repro.qubo.sampleset import SampleSet
 from repro.service.cache import CachedEvaluation, SolverCallCache
+from repro.service.distributed.backends import BackendLike, resolve_backend
 from repro.service.executor import default_worker_count
 from repro.service.registry import SolverRegistry
 from repro.service.requests import SolveRequest, SolveResult
@@ -63,6 +72,14 @@ class SolveService:
         Solver registry resolving spec strings (default: the global one).
     seed:
         Root seed for the child streams handed to *unseeded* requests.
+    backend:
+        Where engine calls execute: an
+        :class:`~repro.service.distributed.backends.ExecutionBackend`
+        instance, a spec string (``"thread"``, ``"process"``,
+        ``"process?max_workers=4"``), or ``None`` to read
+        ``QROSS_EXECUTION_BACKEND`` (default ``"thread"``).  Backends given
+        as spec strings are shared process-wide, so many short-lived services
+        reuse one warm worker pool.
     """
 
     def __init__(
@@ -71,10 +88,19 @@ class SolveService:
         cache: Optional[SolverCallCache] = None,
         registry: Optional[SolverRegistry] = None,
         seed: RngLike = None,
+        backend: BackendLike = None,
     ) -> None:
         if max_workers is not None and max_workers <= 0:
             raise ValueError("max_workers must be positive")
-        self.max_workers = max_workers or default_worker_count()
+        self.backend, self._owns_backend = resolve_backend(backend)
+        if max_workers is None:
+            # An out-of-process backend is fed by this service's threads, so
+            # the thread pool must be at least as wide as the worker pool or
+            # workers would idle behind the dispatch bottleneck.
+            max_workers = max(
+                default_worker_count(), getattr(self.backend, "max_workers", 0)
+            )
+        self.max_workers = max_workers
         self.cache = cache if cache is not None else SolverCallCache()
         self.registry = registry or SolverRegistry.default()
         self._root_rng = ensure_rng(seed)
@@ -99,12 +125,19 @@ class SolveService:
             return self._executor
 
     def close(self) -> None:
-        """Shut the request pool down; further submissions raise."""
+        """Shut the request pool down; further submissions raise.
+
+        Shared execution backends (resolved from spec strings) are left
+        running for other services; only a backend this service exclusively
+        owns is closed with it.
+        """
         with self._lock:
             self._closed = True
             executor, self._executor = self._executor, None
         if executor is not None:
             executor.shutdown(wait=True)
+        if self._owns_backend:
+            self.backend.close()
 
     def __enter__(self) -> "SolveService":
         return self
@@ -116,11 +149,20 @@ class SolveService:
         """Spec string -> solver instance (instances pass through)."""
         return self.registry.from_spec(solver)
 
+    def _spawn_seed(self) -> int:
+        """Thread-safe child seed for an unseeded request.
+
+        A concrete integer (not a live generator) is what crosses the backend
+        boundary: the executing side — this process or a pool worker — runs
+        ``default_rng(seed)``, so results do not depend on where the engine
+        call lands.
+        """
+        with self._lock:
+            return int(self._root_rng.integers(0, 2**63 - 1))
+
     def _spawn_rng(self) -> np.random.Generator:
         """Thread-safe child stream for an unseeded request."""
-        with self._lock:
-            seed = int(self._root_rng.integers(0, 2**63 - 1))
-        return np.random.default_rng(seed)
+        return np.random.default_rng(self._spawn_seed())
 
     def _key_lock(self, key: str) -> threading.Lock:
         return self._key_locks[hash(key) % len(self._key_locks)]
@@ -142,8 +184,8 @@ class SolveService:
     ) -> "Future[SolveResult]":
         if request.seed is not None:
             return self._pool().submit(self._run_seeded, request, solver)
-        rng = self._spawn_rng()
-        return self._pool().submit(self._run_unseeded, request, solver, rng)
+        seed = self._spawn_seed()
+        return self._pool().submit(self._run_unseeded, request, solver, seed)
 
     def _run_seeded(self, request: SolveRequest, solver: QUBOSolver) -> SolveResult:
         model = request.resolve_model()
@@ -154,7 +196,7 @@ class SolveService:
             samples = self.cache.lookup_samples(key)
             if samples is not None:
                 return self._result(request, samples, solver, from_cache=True)
-            samples = solver.sample(model, num_reads=request.num_reads, rng=request.rng())
+            samples = self.backend.run(model, solver, request.num_reads, int(request.seed))
             self.cache.store_samples(key, samples)
             return self._result(request, samples, solver)
 
@@ -162,9 +204,9 @@ class SolveService:
         self,
         request: SolveRequest,
         solver: QUBOSolver,
-        rng: np.random.Generator,
+        seed: int,
     ) -> SolveResult:
-        samples = solver.sample(request.resolve_model(), num_reads=request.num_reads, rng=rng)
+        samples = self.backend.run(request.resolve_model(), solver, request.num_reads, seed)
         return self._result(request, samples, solver)
 
     @staticmethod
@@ -243,10 +285,20 @@ class SolveService:
         sample set is dealt back through a random permutation, so every
         request receives an exchangeable (unbiased) subset of the reads rather
         than a slice of the energy-sorted batch.
+
+        An in-process backend consumes ``rng`` directly (byte-identical to the
+        historical path: the engine advances the stream, then the permutation
+        draws from it).  An out-of-process backend cannot return a stream's
+        state, so the engine gets a child seed derived from ``rng`` instead —
+        merged groups are unseeded by construction, so no determinism contract
+        is affected.
         """
         model = entries[0].resolve_model()
         total = sum(request.num_reads for request in entries)
-        samples = solver.sample(model, num_reads=total, rng=rng)
+        if self.backend.in_process:
+            samples = self.backend.run_with_rng(model, solver, total, rng)
+        else:
+            samples = self.backend.run(model, solver, total, int(rng.integers(0, 2**63 - 1)))
         permutation = rng.permutation(total)
         results: List[SolveResult] = []
         offset = 0
@@ -330,7 +382,9 @@ class SolveService:
 
         Unlike :meth:`submit` this accepts a live generator, which lets legacy
         sequential pipelines keep their exact seeded behaviour while still
-        routing every engine call through the service.
+        routing every engine call through the service.  Because the caller's
+        stream state must advance exactly as a direct call would, this path
+        always executes in-process, bypassing any out-of-process backend.
         """
         resolved = self.resolve_solver(solver)
         return self._pool().submit(resolved.sample, model, num_reads, ensure_rng(rng)).result()
@@ -346,11 +400,19 @@ class SolveService:
     ) -> CachedEvaluation:
         """Aggregate-statistics evaluation used by the tuning loops.
 
-        Byte-compatible with the legacy ``SolverCallCache.evaluate`` path: the
-        same cache-key discipline, the same RNG consumption (a cache hit does
-        not advance the stream), the same statistics — just executed on the
-        service pool.  ``cache=None`` uses a throwaway cache (no cross-call
-        memory), matching the old behaviour of a fresh cache per tuning run.
+        On an in-process backend this is byte-compatible with the legacy
+        ``SolverCallCache.evaluate`` path: the same cache-key discipline, the
+        same RNG consumption (a cache hit does not advance the stream), the
+        same statistics — just executed on the service pool.  On an
+        out-of-process backend the engine call runs in a worker with a child
+        seed drawn from ``rng`` (one draw), the relaxed model is composed on a
+        service thread and the statistics are computed here against the exact
+        problem; results are still fully deterministic for a seeded ``rng``,
+        but follow a different (per-backend documented) stream than the thread
+        path — live generator state cannot cross a process boundary.
+
+        ``cache=None`` uses a throwaway cache (no cross-call memory), matching
+        the old behaviour of a fresh cache per tuning run.
         """
         resolved = self.resolve_solver(solver)
         cache = cache if cache is not None else SolverCallCache()
@@ -359,9 +421,19 @@ class SolveService:
         if entry is not None:
             return entry
         rng = ensure_rng(rng)
-        pf, energy_mean, energy_std, best_fitness = self._pool().submit(
-            evaluate_parameter, problem, resolved, parameter, num_reads, rng
-        ).result()
+        if self.backend.in_process:
+            # Same decomposition as the legacy evaluate_parameter (build,
+            # sample, summarise) with the engine call routed through the
+            # backend — byte-identical on the thread backend, and a custom
+            # in-process backend (e.g. GPU) sees the tuning traffic too.
+            pf, energy_mean, energy_std, best_fitness = self._pool().submit(
+                self._evaluate_with_rng, problem, resolved, parameter, num_reads, rng
+            ).result()
+        else:
+            seed = int(rng.integers(0, 2**63 - 1))
+            pf, energy_mean, energy_std, best_fitness = self._pool().submit(
+                self._evaluate_on_backend, problem, resolved, parameter, num_reads, seed
+            ).result()
         entry = CachedEvaluation(
             probability_of_feasibility=pf,
             energy_mean=energy_mean,
@@ -370,6 +442,32 @@ class SolveService:
         )
         cache.store(key, entry)
         return entry
+
+    def _evaluate_with_rng(
+        self,
+        problem: ConstrainedProblem,
+        solver: QUBOSolver,
+        parameter: float,
+        num_reads: int,
+        rng: np.random.Generator,
+    ) -> Tuple[float, float, float, Optional[float]]:
+        """One tuning evaluation on an in-process backend (live caller stream)."""
+        model = problem.build_qubo(parameter)
+        samples = self.backend.run_with_rng(model, solver, num_reads, rng)
+        return summarise_samples(problem, samples)
+
+    def _evaluate_on_backend(
+        self,
+        problem: ConstrainedProblem,
+        solver: QUBOSolver,
+        parameter: float,
+        num_reads: int,
+        seed: int,
+    ) -> Tuple[float, float, float, Optional[float]]:
+        """One tuning evaluation with the engine call on the execution backend."""
+        model = problem.build_qubo(parameter)
+        samples = self.backend.run(model, solver, num_reads, seed)
+        return summarise_samples(problem, samples)
 
 
 _default_service: Optional[SolveService] = None

@@ -1,0 +1,630 @@
+"""Tests of the distributed execution subsystem: wire format, backends, caches.
+
+The process-pool tests share one module-scoped backend (spawn-starting a pool
+per test would dominate the suite's runtime); everything they assert is about
+byte-identity with the thread path, so pool reuse cannot mask failures.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+import numpy as np
+import pytest
+
+from repro.problems.tsp.generator import generate_instance
+from repro.problems.tsp.qubo import TSPProblem
+from repro.qubo.model import QUBOModel, random_qubo
+from repro.qubo.sampleset import SampleSet
+from repro.service import (
+    ProcessPoolBackend,
+    ShardedResultCache,
+    SolveRequest,
+    SolverCallCache,
+    SolverRegistry,
+    SolveService,
+    SpecSerializationError,
+    ThreadExecutionBackend,
+    make_solver,
+    resolve_backend,
+)
+from repro.service.cache import CachedEvaluation
+from repro.service.distributed import wire
+from repro.service.executor import READ_WORKERS_ENV, read_executor, shutdown_read_executor
+from repro.solvers.base import QUBOSolver
+from repro.solvers.simulated_annealing import (
+    SimulatedAnnealingConfig,
+    SimulatedAnnealingSolver,
+)
+from repro.utils.sparse import scipy_sparse
+
+
+@pytest.fixture
+def model() -> QUBOModel:
+    return random_qubo(14, rng=5)
+
+
+@pytest.fixture
+def sparse_model() -> QUBOModel:
+    """A model inside the CSR auto-backend regime (n >= 512, density < 0.10)."""
+    if scipy_sparse is None:
+        pytest.skip("scipy not available")
+    rng = np.random.default_rng(9)
+    n, nnz = 600, 1800
+    rows = rng.integers(0, n, nnz)
+    cols = rng.integers(0, n, nnz)
+    vals = rng.normal(size=nnz)
+    Q = scipy_sparse.coo_array((vals, (rows, cols)), shape=(n, n)).tocsr()
+    m = QUBOModel(Q, offset=0.75, name="wire-sparse")
+    assert m.in_sparse_regime()
+    return m
+
+
+@pytest.fixture(scope="module")
+def process_backend():
+    backend = ProcessPoolBackend(max_workers=2)
+    yield backend
+    backend.close()
+
+
+class CountingSolver(QUBOSolver):
+    """SA wrapper counting engine executions (for zero-call cache assertions)."""
+
+    name = "counting-sa"
+
+    def __init__(self, num_sweeps: int = 10) -> None:
+        self.config = SimulatedAnnealingConfig(num_sweeps=num_sweeps)
+        self._inner = SimulatedAnnealingSolver(self.config)
+        self.calls = 0
+
+    def _sample(self, model, num_reads, rng):
+        self.calls += 1
+        return self._inner._sample(model, num_reads, rng)
+
+
+# ------------------------------------------------------------------ wire format
+class TestWireFraming:
+    def test_rejects_bad_magic(self):
+        with pytest.raises(wire.WireFormatError, match="magic"):
+            wire.decode_frame(b"NOPE" + b"\x00" * 16)
+
+    def test_rejects_unknown_version(self, model):
+        blob = bytearray(wire.encode_model(model))
+        blob[4] = 99
+        with pytest.raises(wire.WireFormatError, match="version"):
+            wire.decode_frame(bytes(blob))
+
+    def test_rejects_truncation(self, model):
+        blob = wire.encode_model(model)
+        with pytest.raises(wire.WireFormatError, match="truncated"):
+            wire.decode_frame(blob[: len(blob) - 8])
+
+    def test_rejects_trailing_garbage(self, model):
+        with pytest.raises(wire.WireFormatError, match="trailing"):
+            wire.decode_frame(wire.encode_model(model) + b"xx")
+
+    def test_rejects_kind_mismatch(self, model):
+        with pytest.raises(wire.WireFormatError, match="expected"):
+            wire.decode_sample_set(wire.encode_model(model))
+
+    def test_rejects_negative_shape_axes(self):
+        # A negative axis would rewind the buffer offset and alias buffers
+        # over each other; build the hostile manifest by hand.
+        import json
+
+        header = json.dumps(
+            {
+                "kind": "raw",
+                "buffers": [
+                    {"dtype": "<f8", "shape": [2]},
+                    {"dtype": "<f8", "shape": [-1]},
+                    {"dtype": "<f8", "shape": [2]},
+                ],
+            }
+        ).encode("utf-8")
+        blob = (
+            wire._PREFIX.pack(wire.MAGIC, wire.FORMAT_VERSION, len(header))
+            + header
+            + b"\x00" * 24
+        )
+        with pytest.raises(wire.WireFormatError, match="shape"):
+            wire.decode_frame(blob)
+
+
+class TestModelRoundTrip:
+    def test_dense_round_trip_is_exact(self, model):
+        decoded = wire.decode_model(wire.encode_model(model))
+        assert decoded.storage == "dense"
+        assert decoded.fingerprint() == model.fingerprint()
+        assert decoded.offset == model.offset
+        assert decoded.name == model.name
+        assert np.array_equal(decoded.dense_Q(), model.dense_Q())
+
+    def test_csr_round_trip_preserves_fingerprint_without_densifying(
+        self, sparse_model, monkeypatch
+    ):
+        # Any densification (encode or decode side) funnels through
+        # QUBOModel._dense; poisoning it proves the CSR regime stays CSR.
+        monkeypatch.setattr(
+            QUBOModel,
+            "_dense",
+            lambda self: (_ for _ in ()).throw(AssertionError("densified!")),
+        )
+        decoded = wire.decode_model(wire.encode_model(sparse_model))
+        assert decoded.storage == "sparse"
+        assert decoded.fingerprint() == sparse_model.fingerprint()
+        assert decoded.offset == sparse_model.offset
+
+    def test_csr_payload_is_compact(self, sparse_model):
+        n = sparse_model.num_variables
+        assert len(wire.encode_model(sparse_model)) < (n * n * 8) / 10
+
+    def test_corrupted_buffer_fails_fingerprint_check(self, model):
+        blob = bytearray(wire.encode_model(model))
+        blob[-4] ^= 0xFF  # flip bits inside the coefficient buffer
+        with pytest.raises(ValueError, match="fingerprint"):
+            wire.decode_model(bytes(blob))
+
+
+class TestSampleSetAndResultRoundTrip:
+    def test_sample_set_round_trip_is_byte_identical(self, model):
+        solver = make_solver("sa?num_sweeps=15")
+        samples = solver.sample(model, num_reads=6, rng=np.random.default_rng(3))
+        decoded = wire.decode_sample_set(wire.encode_sample_set(samples))
+        assert np.array_equal(decoded.assignments, samples.assignments)
+        assert np.array_equal(decoded.energies, samples.energies)
+        assert np.array_equal(decoded.num_occurrences, samples.num_occurrences)
+        assert decoded.solver_name == samples.solver_name
+        assert decoded.info["num_sweeps"] == samples.info["num_sweeps"]
+
+    def test_engine_call_round_trip(self, sparse_model):
+        blob = wire.encode_engine_call(sparse_model, "tabu?tenure=4", 8, 123)
+        decoded_model, spec, reads, seed = wire.decode_engine_call(blob)
+        assert (spec, reads, seed) == ("tabu?tenure=4", 8, 123)
+        assert decoded_model.fingerprint() == sparse_model.fingerprint()
+
+    def test_request_round_trip_from_problem(self):
+        problem = TSPProblem(generate_instance(5, rng=1, name="wire-tsp"))
+        request = SolveRequest(
+            solver="sa?num_sweeps=10",
+            problem=problem,
+            relaxation_parameter=7.5,
+            num_reads=3,
+            seed=2,
+            label="tagged",
+        )
+        decoded = wire.decode_request(wire.encode_request(request))
+        assert decoded.model is not None  # materialised on encode
+        assert decoded.model.fingerprint() == request.resolve_model().fingerprint()
+        assert (decoded.num_reads, decoded.seed, decoded.label) == (3, 2, "tagged")
+
+    def test_result_round_trip(self, model):
+        with SolveService(max_workers=2, backend="thread") as service:
+            result = service.submit(
+                SolveRequest(solver="tabu?num_steps=40", model=model, num_reads=4, seed=6)
+            ).result()
+        decoded = wire.decode_result(wire.encode_result(result))
+        assert np.array_equal(decoded.samples.assignments, result.samples.assignments)
+        assert np.array_equal(decoded.samples.energies, result.samples.energies)
+        assert decoded.solver_fingerprint == result.solver_fingerprint
+        assert decoded.request.seed == 6
+
+    def test_request_with_unserialisable_solver_raises(self, model):
+        request = SolveRequest(solver=CountingSolver(), model=model, seed=0)
+        with pytest.raises(SpecSerializationError):
+            wire.encode_request(request)
+
+
+# ----------------------------------------------------------------- spec inverse
+class TestSpecFor:
+    def test_round_trips_nested_configs(self):
+        from repro.experiments.datasets import solver_spec
+        from repro.experiments.profiles import SMOKE
+
+        for backend in ("sa", "da", "tabu", "qbsolv", "qa"):
+            spec = solver_spec(SMOKE, backend)
+            from repro.experiments.datasets import make_solver as profile_solver
+
+            rebuilt = make_solver(spec)
+            assert (
+                rebuilt.config_fingerprint()
+                == profile_solver(SMOKE, backend).config_fingerprint()
+            ), spec
+
+    def test_dotted_options_construct_nested_dataclasses(self):
+        solver = make_solver("qbsolv?subproblem_size=20&subsolver_config.num_steps=70")
+        assert solver.config.subproblem_size == 20
+        assert solver.config.subsolver_config.num_steps == 70
+        # Unspecified nested fields keep the nested class defaults.
+        assert solver.config.subsolver_config.restart_after == 100
+
+    def test_unknown_dotted_option_rejected(self):
+        with pytest.raises(ValueError, match="nested"):
+            make_solver("qbsolv?subsolver_config.bogus=1")
+
+    def test_nested_config_equal_to_class_defaults_round_trips(self):
+        # QbsolvConfig's factory customises the tabu sub-config, so a plain
+        # TabuSearchConfig() differs from the *field* default while matching
+        # the nested class defaults — the spec must still force construction
+        # away from the factory (regression: this used to emit no options).
+        from repro.solvers.qbsolv import QbsolvConfig, QbsolvSolver
+        from repro.solvers.tabu import TabuSearchConfig
+
+        solver = QbsolvSolver(QbsolvConfig(subsolver_config=TabuSearchConfig()))
+        spec = SolverRegistry.default().spec_for(solver)
+        assert make_solver(spec).config_fingerprint() == solver.config_fingerprint()
+
+    def test_unregistered_solver_raises(self):
+        with pytest.raises(SpecSerializationError, match="no registered backend"):
+            SolverRegistry.default().spec_for(CountingSolver())
+
+    def test_string_spec_passes_through_validated(self):
+        assert SolverRegistry.spec_for("tabu?tenure=8") == "tabu?tenure=8"
+        with pytest.raises(ValueError):
+            SolverRegistry.spec_for("not-a-backend")
+
+
+# ------------------------------------------------------------ execution backends
+class TestBackendResolution:
+    def test_env_default_is_thread(self, monkeypatch):
+        monkeypatch.delenv("QROSS_EXECUTION_BACKEND", raising=False)
+        backend, owned = resolve_backend(None)
+        assert isinstance(backend, ThreadExecutionBackend) and not owned
+
+    def test_env_selects_backend(self, monkeypatch):
+        monkeypatch.setenv("QROSS_EXECUTION_BACKEND", "thread")
+        backend, _ = resolve_backend(None)
+        assert backend.name == "thread"
+
+    def test_spec_strings_resolve_to_shared_instances(self):
+        first, _ = resolve_backend("thread")
+        second, _ = resolve_backend("thread")
+        assert first is second
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown execution backend"):
+            resolve_backend("gpu")
+
+    def test_instance_passes_through(self):
+        backend = ThreadExecutionBackend()
+        resolved, owned = resolve_backend(backend)
+        assert resolved is backend and not owned
+
+    def test_closed_shared_backend_is_replaced(self):
+        # A distinctive spec so the module-scoped fixture's pool is untouched;
+        # the pool is lazy, so closing an unused backend costs nothing.
+        spec = "process?max_workers=1&mp_context=spawn"
+        first, _ = resolve_backend(spec)
+        first.close()
+        second, _ = resolve_backend(spec)
+        assert second is not first and not second.closed
+
+
+class TestProcessBackendParity:
+    @pytest.mark.parametrize("spec", ["sa?num_sweeps=25", "tabu?num_steps=60"])
+    def test_seeded_samples_byte_identical_to_thread(self, model, process_backend, spec):
+        solver = make_solver(spec)
+        thread = ThreadExecutionBackend().run(model, solver, 4, seed=42)
+        process = process_backend.run(model, solver, 4, seed=42)
+        assert np.array_equal(thread.assignments, process.assignments)
+        assert np.array_equal(thread.energies, process.energies)
+        assert np.array_equal(thread.num_occurrences, process.num_occurrences)
+
+    def test_sparse_model_crosses_without_densifying(self, sparse_model, process_backend):
+        solver = make_solver("tabu?num_steps=15")
+        thread = ThreadExecutionBackend().run(sparse_model, solver, 2, seed=7)
+        process = process_backend.run(sparse_model, solver, 2, seed=7)
+        assert np.array_equal(thread.assignments, process.assignments)
+        assert np.array_equal(thread.energies, process.energies)
+
+    def test_seeded_service_request_identical_through_both_backends(
+        self, model, process_backend
+    ):
+        request = SolveRequest(solver="tabu?num_steps=50", model=model, num_reads=3, seed=11)
+        with SolveService(max_workers=2, backend="thread") as thread_service:
+            expected = thread_service.submit(request).result()
+        service = SolveService(max_workers=2, backend=process_backend)
+        got = service.submit(request).result()
+        service.close()
+        assert np.array_equal(expected.samples.assignments, got.samples.assignments)
+        assert np.array_equal(expected.samples.energies, got.samples.energies)
+        # The shared module backend survives the service that used it.
+        assert process_backend.run(model, make_solver("sa?num_sweeps=5"), 1, 0).num_samples == 1
+
+    def test_unserialisable_solver_falls_back_in_process(self, model, process_backend):
+        solver = CountingSolver(num_sweeps=8)
+        samples = process_backend.run(model, solver, 2, seed=3)
+        assert solver.calls == 1  # ran in this process, not a worker
+        expected = ThreadExecutionBackend().run(model, CountingSolver(num_sweeps=8), 2, seed=3)
+        assert np.array_equal(samples.assignments, expected.assignments)
+
+    def test_repeat_calls_use_model_reference(self, model, process_backend):
+        solver = make_solver("sa?num_sweeps=12")
+        first = process_backend.run(model, solver, 2, seed=1)
+        assert model.fingerprint() in process_backend._shipped_models
+        second = process_backend.run(model, solver, 2, seed=1)  # by-reference
+        assert np.array_equal(first.assignments, second.assignments)
+        assert np.array_equal(first.energies, second.energies)
+
+    def test_model_miss_retries_with_full_payload(self, process_backend):
+        # Pretend the model was already shipped: the first call then goes
+        # by-reference, every worker misses, and the retry must recover.
+        fresh = random_qubo(13, rng=77)
+        process_backend._shipped_models[fresh.fingerprint()] = True
+        solver = make_solver("sa?num_sweeps=12")
+        got = process_backend.run(fresh, solver, 2, seed=4)
+        expected = ThreadExecutionBackend().run(fresh, solver, 2, seed=4)
+        assert np.array_equal(got.assignments, expected.assignments)
+
+    def test_runtime_registered_backend_falls_back_in_process(
+        self, model, process_backend, monkeypatch
+    ):
+        import repro.solvers.simulated_annealing as sa_mod
+        from repro.service.registry import SolverRegistry, _build_default_registry
+
+        class RuntimeRegisteredSolver(sa_mod.SimulatedAnnealingSolver):
+            name = "zz-runtime-sa"
+            executed_in: list = []
+
+            def _sample(self, model, num_reads, rng):
+                type(self).executed_in.append(os.getpid())
+                return super()._sample(model, num_reads, rng)
+
+        # A copy of the default registry gains the runtime registration; the
+        # monkeypatch keeps the real default registry pristine for other tests.
+        registry = _build_default_registry()
+        registry.register(
+            "zz-runtime-sa",
+            RuntimeRegisteredSolver,
+            sa_mod.SimulatedAnnealingConfig,
+            description="test-only runtime registration",
+        )
+        monkeypatch.setattr(SolverRegistry, "_default", registry)
+
+        solver = RuntimeRegisteredSolver(sa_mod.SimulatedAnnealingConfig(num_sweeps=6))
+        samples = process_backend.run(model, solver, 2, seed=9)
+        # A spawned worker cannot resolve the runtime registration, so the
+        # call must have run in this very process.
+        assert RuntimeRegisteredSolver.executed_in == [os.getpid()]
+        assert samples.num_samples == 2
+
+    def test_unseeded_requests_deterministic_given_service_seed(
+        self, model, process_backend
+    ):
+        def run_once():
+            service = SolveService(max_workers=2, backend=process_backend, seed=123)
+            try:
+                results = service.map_requests(
+                    [
+                        SolveRequest(solver="sa?num_sweeps=10", model=model, num_reads=2)
+                        for _ in range(3)
+                    ]
+                )
+                return [r.samples.energies for r in results]
+            finally:
+                service.close()
+
+        first, second = run_once(), run_once()
+        for a, b in zip(first, second):
+            assert np.array_equal(a, b)
+
+    def test_broken_pool_recovers_on_next_call(self, model):
+        import signal
+
+        backend = ProcessPoolBackend(max_workers=1)
+        try:
+            solver = make_solver("sa?num_sweeps=5")
+            backend.run(model, solver, 1, seed=0)
+            worker_pid = backend._executor().submit(os.getpid).result()
+            os.kill(worker_pid, signal.SIGKILL)
+            with pytest.raises(RuntimeError, match="worker died"):
+                backend.run(model, solver, 1, seed=0)
+            # The poisoned pool was dropped: a fresh one serves the next call.
+            expected = ThreadExecutionBackend().run(model, solver, 1, seed=0)
+            got = backend.run(model, solver, 1, seed=0)
+            assert np.array_equal(got.assignments, expected.assignments)
+        finally:
+            backend.close()
+
+    def test_evaluate_on_process_backend_is_deterministic(self, process_backend):
+        problem = TSPProblem(generate_instance(5, rng=4, name="proc-tsp"))
+
+        def evaluate_once():
+            service = SolveService(max_workers=2, backend=process_backend)
+            try:
+                return service.evaluate(
+                    problem, "sa?num_sweeps=10", parameter=8.0, num_reads=4,
+                    rng=np.random.default_rng(5),
+                )
+            finally:
+                service.close()
+
+        assert evaluate_once() == evaluate_once()
+
+
+# ------------------------------------------------------------------ disk caching
+class TestShardedResultCache:
+    def test_samples_round_trip(self, tmp_path, model):
+        store = ShardedResultCache(tmp_path / "cache")
+        solver = make_solver("sa?num_sweeps=10")
+        samples = solver.sample(model, num_reads=3, rng=np.random.default_rng(1))
+        assert store.lookup_samples("k1") is None
+        store.store_samples("k1", samples)
+        got = store.lookup_samples("k1")
+        assert np.array_equal(got.assignments, samples.assignments)
+        assert np.array_equal(got.energies, samples.energies)
+        assert store.entry_counts() == {"samples": 1, "evaluations": 0}
+
+    def test_evaluation_round_trip(self, tmp_path):
+        store = ShardedResultCache(tmp_path / "cache")
+        entry = CachedEvaluation(0.25, -1.5, 0.75, None)
+        store.store_evaluation("ek", entry)
+        assert store.lookup_evaluation("ek") == entry
+        assert store.lookup_evaluation("other") is None
+
+    def test_corrupt_entry_reads_as_miss_and_is_removed(self, tmp_path, model):
+        store = ShardedResultCache(tmp_path / "cache")
+        solver = make_solver("sa?num_sweeps=10")
+        store.store_samples("k", solver.sample(model, 2, rng=np.random.default_rng(0)))
+        path = store._entry_path("k", ".samples")
+        path.write_bytes(path.read_bytes()[:10])
+        assert store.lookup_samples("k") is None
+        assert not path.exists()
+
+    def test_writes_leave_no_temp_files(self, tmp_path):
+        store = ShardedResultCache(tmp_path / "cache")
+        store.store_evaluation("k", CachedEvaluation(1.0, 0.0, 0.0, 2.0))
+        leftovers = [p for p in (tmp_path / "cache").rglob(".tmp-*")]
+        assert leftovers == []
+
+    def test_versioned_layout(self, tmp_path):
+        store = ShardedResultCache(tmp_path / "cache")
+        store.store_evaluation("k", CachedEvaluation(1.0, 0.0, 0.0, None))
+        assert (tmp_path / "cache" / "v1").is_dir()
+
+
+class TestSolverCallCacheTiering:
+    def test_memory_miss_falls_back_to_disk_and_repopulates(self, tmp_path, model):
+        store = ShardedResultCache(tmp_path / "cache")
+        solver = make_solver("sa?num_sweeps=10")
+        samples = solver.sample(model, 2, rng=np.random.default_rng(2))
+        writer = SolverCallCache(persistent=store)
+        writer.store_samples("key", samples)
+
+        reader = SolverCallCache(persistent=store)  # cold memory, same disk
+        got = reader.lookup_samples("key")
+        assert got is not None and np.array_equal(got.assignments, samples.assignments)
+        assert reader.hits == 1
+        # Second lookup is served from memory (no disk read): still a hit.
+        assert reader.lookup_samples("key") is not None
+        assert reader.hits == 2
+
+    def test_lru_eviction_recovers_from_disk(self, tmp_path, model):
+        store = ShardedResultCache(tmp_path / "cache")
+        cache = SolverCallCache(max_sample_entries=1, persistent=store)
+        solver = make_solver("sa?num_sweeps=10")
+        first = solver.sample(model, 2, rng=np.random.default_rng(0))
+        second = solver.sample(model, 2, rng=np.random.default_rng(1))
+        cache.store_samples("a", first)
+        cache.store_samples("b", second)  # evicts "a" from memory
+        assert cache.num_sample_entries == 1
+        got = cache.lookup_samples("a")  # disk saves it
+        assert got is not None and np.array_equal(got.assignments, first.assignments)
+
+    def test_evaluations_not_persisted_by_default(self, tmp_path):
+        store = ShardedResultCache(tmp_path / "cache")
+        cache = SolverCallCache(persistent=store)
+        cache.store("ek", CachedEvaluation(0.5, 1.0, 2.0, None))
+        assert store.entry_counts()["evaluations"] == 0
+        assert SolverCallCache(persistent=store).lookup("ek") is None
+
+    def test_evaluation_persistence_is_opt_in(self, tmp_path):
+        store = ShardedResultCache(tmp_path / "cache")
+        entry = CachedEvaluation(0.5, 1.0, 2.0, None)
+        SolverCallCache(persistent=store, persist_evaluations=True).store("ek", entry)
+        reader = SolverCallCache(persistent=store, persist_evaluations=True)
+        assert reader.lookup("ek") == entry
+        with pytest.raises(ValueError, match="requires persistent"):
+            SolverCallCache(persist_evaluations=True)
+
+    def test_save_is_atomic_and_loadable(self, tmp_path):
+        cache = SolverCallCache()
+        cache.store("k", CachedEvaluation(0.5, 1.0, 2.0, 3.0))
+        target = tmp_path / "out" / "cache.json"
+        cache.save(target)
+        assert SolverCallCache.load(target).lookup("k") is not None
+        assert [p for p in target.parent.iterdir() if p.name != "cache.json"] == []
+
+    def test_second_seeded_sweep_runs_zero_solver_calls(self, tmp_path, model):
+        """Acceptance: a re-run of a seeded sweep is served entirely from disk."""
+
+        def run_sweep():
+            solver = CountingSolver(num_sweeps=12)
+            cache = SolverCallCache(persistent=ShardedResultCache(tmp_path / "cache"))
+            service = SolveService(max_workers=2, cache=cache, backend="thread")
+            try:
+                results = service.map_requests(
+                    [
+                        SolveRequest(solver=solver, model=model, num_reads=2, seed=seed)
+                        for seed in range(5)
+                    ]
+                )
+                return solver.calls, [r.samples.energies for r in results]
+            finally:
+                service.close()
+
+        first_calls, first_energies = run_sweep()
+        second_calls, second_energies = run_sweep()
+        assert first_calls == 5
+        assert second_calls == 0
+        for a, b in zip(first_energies, second_energies):
+            assert np.array_equal(a, b)
+
+
+# ------------------------------------------------------------- runner integration
+class TestRunnerBackendKnob:
+    def _comparison(self, **kwargs):
+        from repro.experiments.runner import baseline_tuner_factories, run_comparison
+
+        problems = [
+            TSPProblem(generate_instance(5, rng=seed, name=f"runner-tsp{seed}"))
+            for seed in (0, 1)
+        ]
+        factories = {"Random": baseline_tuner_factories()["Random"]}
+        return run_comparison(
+            problems,
+            make_solver("sa?num_sweeps=10"),
+            factories,
+            num_trials=3,
+            num_reads=4,
+            rng=7,
+            **kwargs,
+        )
+
+    def test_parallel_fanout_matches_sequential(self):
+        # Same backend on both sides (the sequential run would otherwise pick
+        # up whatever QROSS_EXECUTION_BACKEND forces for the default service).
+        with SolveService(backend="thread") as service:
+            sequential = self._comparison(service=service)
+        parallel = self._comparison(backend="thread", max_parallel=4)
+        for a, b in zip(sequential.runs, parallel.runs):
+            assert a.instance_name == b.instance_name and a.method == b.method
+            assert np.array_equal(a.gaps, b.gaps)
+
+    def test_service_and_backend_are_exclusive(self):
+        from repro.service.service import default_service
+
+        with pytest.raises(ValueError, match="not both"):
+            self._comparison(service=default_service(), backend="thread")
+
+
+# ------------------------------------------------------------ read-pool rebuild
+class TestReadExecutorRebuild:
+    def test_old_pool_survives_width_change(self, monkeypatch):
+        shutdown_read_executor()
+        try:
+            monkeypatch.setenv(READ_WORKERS_ENV, "2")
+            old_pool = read_executor()
+            assert old_pool is not None
+            monkeypatch.setenv(READ_WORKERS_ENV, "3")
+            new_pool = read_executor()
+            assert new_pool is not old_pool
+            # Regression: the retired pool must still accept work from callers
+            # that fetched it before the rebuild (it used to be shut down).
+            assert old_pool.submit(lambda: 41 + 1).result() == 42
+        finally:
+            shutdown_read_executor()
+
+    def test_shutdown_drains_retired_pools(self, monkeypatch):
+        shutdown_read_executor()
+        try:
+            monkeypatch.setenv(READ_WORKERS_ENV, "2")
+            old_pool = read_executor()
+            monkeypatch.setenv(READ_WORKERS_ENV, "3")
+            read_executor()
+            shutdown_read_executor()
+            with pytest.raises(RuntimeError):
+                old_pool.submit(lambda: None)
+        finally:
+            shutdown_read_executor()
