@@ -61,6 +61,7 @@ from repro.service import (
 )
 from repro.solvers import (
     DigitalAnnealerSolver,
+    ParallelTemperingSolver,
     QbsolvSolver,
     QuantumAnnealerSolver,
     SimulatedAnnealingSolver,
@@ -88,6 +89,7 @@ __all__ = [
     "SolveService",
     "SimulatedAnnealingSolver",
     "DigitalAnnealerSolver",
+    "ParallelTemperingSolver",
     "TabuSearchSolver",
     "QbsolvSolver",
     "QuantumAnnealerSolver",

@@ -28,13 +28,15 @@ def make_solver(profile: ExperimentProfile, backend: str) -> QUBOSolver:
 
     Deprecation shim: construction now goes through the
     :class:`~repro.service.registry.SolverRegistry` — ``backend`` is any
-    registry name or alias (``"da"``, ``"qbsolv"``, ``"sa"``, ``"tabu"``,
-    ``"qa"``, ``"random"``) and the profile supplies the sized config.
+    registry name or alias (``"da"``, ``"pt"``, ``"qbsolv"``, ``"sa"``,
+    ``"tabu"``, ``"qa"``, ``"random"``) and the profile supplies the sized
+    config.
     """
     registry = SolverRegistry.default()
     name = registry.canonical_name(backend)
     config_factories = {
         "da": profile.digital_annealer_config,
+        "pt": profile.parallel_tempering_config,
         "qbsolv": profile.qbsolv_config,
         "sa": profile.simulated_annealing_config,
         "tabu": profile.tabu_search_config,

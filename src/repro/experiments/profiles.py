@@ -19,6 +19,7 @@ import os
 from dataclasses import dataclass, field, replace
 
 from repro.solvers.digital_annealer import DigitalAnnealerConfig
+from repro.solvers.parallel_tempering import ParallelTemperingConfig
 from repro.solvers.qbsolv import QbsolvConfig
 from repro.solvers.quantum_annealer import QuantumAnnealerConfig
 from repro.solvers.simulated_annealing import SimulatedAnnealingConfig
@@ -57,11 +58,29 @@ class ExperimentProfile:
     # annealing loops of the comparison runs out across cores — worthwhile at
     # ``small``/``paper`` scale, pure overhead for the smoke profile.
     execution_backend: str | None = None
+    # Parallel tempering (replica exchange): ladder rungs per read and sweeps
+    # between swap rounds.  The sweep budget is shared with SA
+    # (``sa_num_sweeps``) so PT-vs-SA comparisons are same-budget by default.
+    pt_num_replicas: int = 8
+    pt_swap_interval: int = 5
+    # Digital annealer: accepted flips applied per step (1 = published
+    # single-flip algorithm; >1 = the parallel multi-flip variant).
+    da_max_parallel_flips: int = 1
     # Reproducibility.
     seed: int = 2021
 
     def digital_annealer_config(self) -> DigitalAnnealerConfig:
-        return DigitalAnnealerConfig(steps_per_variable=self.da_steps_per_variable)
+        return DigitalAnnealerConfig(
+            steps_per_variable=self.da_steps_per_variable,
+            max_parallel_flips=self.da_max_parallel_flips,
+        )
+
+    def parallel_tempering_config(self) -> ParallelTemperingConfig:
+        return ParallelTemperingConfig(
+            num_sweeps=self.sa_num_sweeps,
+            num_replicas=self.pt_num_replicas,
+            swap_interval=self.pt_swap_interval,
+        )
 
     def simulated_annealing_config(self) -> SimulatedAnnealingConfig:
         return SimulatedAnnealingConfig(num_sweeps=self.sa_num_sweeps)

@@ -35,8 +35,9 @@ from __future__ import annotations
 import hashlib
 import json
 import threading
+import time
 from pathlib import Path
-from typing import Optional
+from typing import List, Optional, Tuple
 
 from repro.qubo.sampleset import SampleSet
 from repro.service.cache import CachedEvaluation
@@ -157,3 +158,54 @@ class ShardedResultCache:
                     elif entry.name.endswith(_SAMPLES_SUFFIX):
                         samples += 1
         return {"samples": samples, "evaluations": evaluations}
+
+    def prune(self, max_entries: int, max_tmp_age_s: float = 3600.0) -> dict:
+        """Garbage-collect the store down to its ``max_entries`` newest entries.
+
+        Entries (sample sets and evaluations together) are ranked by
+        modification time and everything beyond the newest ``max_entries`` is
+        unlinked; stale ``.tmp-*`` files left by crashed writers are removed
+        once older than ``max_tmp_age_s`` (never younger — a live writer's
+        temp file must survive until its ``os.replace``).  Deletion is safe
+        under concurrent readers and writers: a reader that loses the race
+        simply records a miss (and re-runs the deterministic call), a
+        concurrent writer re-creates its entry with a fresh mtime.  Files that
+        vanish mid-scan (another pruner, a concurrent ``_drop_corrupt``) are
+        skipped.  Returns ``{"kept": n, "removed": m, "removed_tmp": t}``.
+        """
+        if max_entries < 0:
+            raise ValueError("max_entries must be non-negative")
+        now = time.time()
+        entries: List[Tuple[float, Path]] = []
+        removed_tmp = 0
+        if self._version_dir.is_dir():
+            for shard in self._version_dir.iterdir():
+                if not shard.is_dir():
+                    continue
+                for path in shard.iterdir():
+                    try:
+                        mtime = path.stat().st_mtime
+                    except OSError:
+                        continue
+                    if path.name.endswith((_SAMPLES_SUFFIX, _EVAL_SUFFIX)):
+                        entries.append((mtime, path))
+                    elif ".tmp-" in path.name and now - mtime > max_tmp_age_s:
+                        try:
+                            path.unlink()
+                            removed_tmp += 1
+                        except OSError:
+                            pass
+        # Newest first; ties broken by name so concurrent pruners agree.
+        entries.sort(key=lambda item: (-item[0], item[1].name))
+        removed = 0
+        for _, path in entries[max_entries:]:
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return {
+            "kept": len(entries) - removed,
+            "removed": removed,
+            "removed_tmp": removed_tmp,
+        }

@@ -67,6 +67,10 @@ def _jsonify(value):
 def _wire_buffer(buffer: np.ndarray) -> np.ndarray:
     """Contiguous little-endian view/copy of a buffer, ready to ship."""
     arr = np.ascontiguousarray(buffer)
+    if arr.shape != np.shape(buffer):
+        # np.ascontiguousarray promotes 0-d arrays to shape (1,); undo it so
+        # the manifest records the true shape and round-trips are exact.
+        arr = arr.reshape(np.shape(buffer))
     if arr.dtype.byteorder == ">":
         arr = arr.astype(arr.dtype.newbyteorder("<"))
     return arr

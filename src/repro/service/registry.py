@@ -32,6 +32,10 @@ from typing import Any, Dict, Iterable, List, Optional, Tuple, Type
 
 from repro.solvers.base import QUBOSolver
 from repro.solvers.digital_annealer import DigitalAnnealerConfig, DigitalAnnealerSolver
+from repro.solvers.parallel_tempering import (
+    ParallelTemperingConfig,
+    ParallelTemperingSolver,
+)
 from repro.solvers.qbsolv import QbsolvConfig, QbsolvSolver
 from repro.solvers.quantum_annealer import QuantumAnnealerConfig, QuantumAnnealerSolver
 from repro.solvers.random_solver import RandomSolver
@@ -499,6 +503,13 @@ def _build_default_registry() -> SolverRegistry:
         DigitalAnnealerConfig,
         aliases=("digital-annealer",),
         description="Digital-Annealer-style parallel-trial annealer with dynamic offset",
+    )
+    registry.register(
+        "pt",
+        ParallelTemperingSolver,
+        ParallelTemperingConfig,
+        aliases=("parallel-tempering", "replica-exchange"),
+        description="replica-exchange Monte Carlo over a geometric temperature ladder",
     )
     registry.register(
         "tabu",

@@ -1,8 +1,18 @@
-"""QUBO solver backends: simulated annealing, Digital-Annealer-style, tabu, qbsolv-style, noisy QA."""
+"""QUBO solver backends: simulated annealing, Digital-Annealer-style, parallel tempering, tabu, qbsolv-style, noisy QA."""
 
 from repro.solvers.base import QUBOSolver
 from repro.solvers.digital_annealer import DigitalAnnealerConfig, DigitalAnnealerSolver
-from repro.solvers.engine import AnnealingState, default_block_size, metropolis_accept
+from repro.solvers.engine import (
+    AdaptiveBlockSizer,
+    AnnealingState,
+    default_block_size,
+    metropolis_accept,
+    propose_ladder_swaps,
+)
+from repro.solvers.parallel_tempering import (
+    ParallelTemperingConfig,
+    ParallelTemperingSolver,
+)
 from repro.solvers.qbsolv import QbsolvConfig, QbsolvSolver
 from repro.solvers.quantum_annealer import QuantumAnnealerConfig, QuantumAnnealerSolver
 from repro.solvers.random_solver import RandomSolver
@@ -17,13 +27,17 @@ from repro.solvers.tabu import TabuSearchConfig, TabuSearchSolver
 
 __all__ = [
     "QUBOSolver",
+    "AdaptiveBlockSizer",
     "AnnealingState",
     "default_block_size",
     "metropolis_accept",
+    "propose_ladder_swaps",
     "SimulatedAnnealingSolver",
     "SimulatedAnnealingConfig",
     "DigitalAnnealerSolver",
     "DigitalAnnealerConfig",
+    "ParallelTemperingSolver",
+    "ParallelTemperingConfig",
     "TabuSearchSolver",
     "TabuSearchConfig",
     "QbsolvSolver",

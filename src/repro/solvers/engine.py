@@ -54,7 +54,7 @@ from repro.utils.rng import ensure_rng
 
 def metropolis_accept(
     delta: np.ndarray,
-    temperature: float,
+    temperature: "float | np.ndarray",
     uniforms: np.ndarray,
 ) -> np.ndarray:
     """Metropolis acceptance mask for proposed energy changes ``delta``.
@@ -62,11 +62,28 @@ def metropolis_accept(
     Downhill (``delta <= 0``) moves are always accepted; uphill moves are
     accepted when ``uniforms < exp(-delta / temperature)``.  ``uniforms`` must
     have the same shape as ``delta``.
+
+    ``temperature`` is either one scalar for the whole batch (the annealing
+    solvers) or a per-replica array of length ``delta.shape[0]`` (the
+    parallel-tempering ladder, where every replica row owns its own fixed
+    temperature).  Rows at temperature zero accept downhill moves only.
     """
     accept = delta <= 0.0
-    if temperature > 0:
-        accept = accept | (uniforms < np.exp(-np.clip(delta, 0.0, None) / temperature))
-    return accept
+    temps = np.asarray(temperature, dtype=np.float64)
+    if temps.ndim == 0:
+        if temps > 0:
+            accept = accept | (uniforms < np.exp(-np.clip(delta, 0.0, None) / temps))
+        return accept
+    if temps.shape != (delta.shape[0],):
+        raise ValueError(
+            f"temperature array must have one entry per replica row "
+            f"({delta.shape[0]}), got shape {temps.shape}"
+        )
+    cols = temps.reshape(-1, *([1] * (delta.ndim - 1)))
+    positive = cols > 0
+    safe = np.where(positive, cols, 1.0)
+    boltzmann = uniforms < np.exp(-np.clip(delta, 0.0, None) / safe)
+    return accept | (boltzmann & positive)
 
 
 def default_block_size(num_variables: int) -> int:
@@ -77,6 +94,94 @@ def default_block_size(num_variables: int) -> int:
     approximate sequential Metropolis updates; see :class:`AnnealingState`).
     """
     return int(np.clip(num_variables // 8, 1, 64))
+
+
+class AdaptiveBlockSizer:
+    """Acceptance-rate feedback controller for the blocked-sweep block size.
+
+    Flips proposed together in one block do not see each other's move, so a
+    block sweep is only a faithful approximation of sequential Metropolis when
+    few of its proposals are accepted.  The fixed :func:`default_block_size`
+    heuristic ignores that: early hot sweeps (acceptance near one) get the
+    same block as late cold sweeps (acceptance near zero).  This controller
+    doubles the block while the sweep acceptance rate stays below ``low``
+    (almost nothing flips together — bigger blocks are free speed) and halves
+    it back toward the baseline when the rate exceeds ``high`` (many
+    simultaneous flips).  The baseline is also the floor: hot sweeps run
+    exactly the block the fixed heuristic would have used (no fidelity
+    regression), cold sweeps run up to ``max_block`` (pure Python-overhead
+    savings).  Pass ``min_block`` explicitly to allow shrinking further, down
+    to the exact sequential sweep at ``1``.
+
+    The update consumes only the accepted-flip count of the previous sweep —
+    no random draws — so enabling adaptivity never perturbs a solver's RNG
+    stream; trajectories change only through the block partition itself.
+    """
+
+    def __init__(
+        self,
+        num_variables: int,
+        initial: Optional[int] = None,
+        low: float = 0.02,
+        high: float = 0.2,
+        min_block: Optional[int] = None,
+        max_block: Optional[int] = None,
+    ) -> None:
+        if not 0.0 <= low < high:
+            raise ValueError("thresholds must satisfy 0 <= low < high")
+        self.block = int(initial if initial is not None else default_block_size(num_variables))
+        if self.block < 1:
+            raise ValueError("initial block size must be positive")
+        self.min_block = int(min_block if min_block is not None else self.block)
+        self.max_block = int(
+            max_block
+            if max_block is not None
+            else max(self.block, int(np.clip(num_variables // 4, 1, 256)))
+        )
+        if not 1 <= self.min_block <= self.max_block:
+            raise ValueError("must satisfy 1 <= min_block <= max_block")
+        self.low = float(low)
+        self.high = float(high)
+
+    def update(self, acceptance_rate: float) -> int:
+        """Fold one sweep's acceptance rate in; return the next block size."""
+        if acceptance_rate > self.high:
+            self.block = max(self.min_block, self.block // 2)
+        elif acceptance_rate < self.low:
+            self.block = min(self.max_block, self.block * 2)
+        return self.block
+
+
+def propose_ladder_swaps(
+    energies: np.ndarray,
+    betas: np.ndarray,
+    offset: int,
+    uniforms: np.ndarray,
+) -> np.ndarray:
+    """Metropolis accept mask for neighbour swaps on a temperature ladder.
+
+    ``energies`` has shape ``(num_reads, num_replicas)`` — each read owns an
+    independent ladder whose rung ``j`` runs at inverse temperature
+    ``betas[j]``.  Rungs are paired ``(offset, offset+1), (offset+2, ...)``
+    (callers alternate ``offset`` 0/1 between rounds so every neighbour pair
+    is eventually proposed); a swap of pair ``(i, j)`` is accepted with
+    probability ``min(1, exp((beta_i - beta_j) (E_i - E_j)))`` — the detailed-
+    balance criterion of replica exchange.  ``uniforms`` must have shape
+    ``(num_reads, num_pairs)``; the comparison runs in log space so large
+    positive arguments cannot overflow.  Returns the accept mask, shape
+    ``(num_reads, num_pairs)``.
+    """
+    i = np.arange(offset, betas.size - 1, 2)
+    if i.size == 0:
+        return np.zeros((energies.shape[0], 0), dtype=bool)
+    j = i + 1
+    log_ratio = (betas[i] - betas[j])[None, :] * (energies[:, i] - energies[:, j])
+    if uniforms.shape != log_ratio.shape:
+        raise ValueError(
+            f"uniforms must have shape {log_ratio.shape}, got {uniforms.shape}"
+        )
+    with np.errstate(divide="ignore"):  # log(0) -> -inf accepts, as it should
+        return np.log(uniforms) < log_ratio
 
 
 class AnnealingState:

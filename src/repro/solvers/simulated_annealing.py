@@ -16,6 +16,14 @@ the same block do not see each other's move), which blocked Gibbs/Metropolis
 samplers routinely accept; the solver additionally tracks the best state seen
 at every sweep boundary, so the returned assignment is never worse than the
 final state of the walk.
+
+The block size is *adaptive* by default: an
+:class:`~repro.solvers.engine.AdaptiveBlockSizer` grows the block while the
+measured acceptance rate says simultaneous flips are rare (cold sweeps — pure
+speed) and shrinks it toward the exact sequential sweep while acceptance is
+high (hot sweeps — fidelity).  The controller reads only accepted-flip
+counts, so it never consumes random draws; pass an explicit ``block_size``
+to pin the historical fixed-block behaviour.
 """
 
 from __future__ import annotations
@@ -27,7 +35,7 @@ import numpy as np
 
 from repro.qubo.model import QUBOModel
 from repro.solvers.base import QUBOSolver
-from repro.solvers.engine import AnnealingState, default_block_size, metropolis_accept
+from repro.solvers.engine import AdaptiveBlockSizer, AnnealingState, metropolis_accept
 from repro.solvers.schedules import TemperatureSchedule, resolve_schedule
 
 
@@ -43,14 +51,21 @@ class SimulatedAnnealingConfig:
         Temperature schedule; ``None`` selects a geometric schedule whose range
         is derived from the QUBO coefficients.
     block_size:
-        Number of variables proposed together within a sweep.  ``None`` picks
-        :func:`~repro.solvers.engine.default_block_size`; ``1`` recovers the
-        exact sequential single-flip sweep.
+        Number of variables proposed together within a sweep.  ``None`` (the
+        default) adapts the block to the measured acceptance rate via
+        :class:`~repro.solvers.engine.AdaptiveBlockSizer`; an integer pins a
+        fixed block, with ``1`` recovering the exact sequential single-flip
+        sweep.
+    track_trajectory:
+        Record the batch-best energy after every sweep in the sample-set info
+        (``best_energy_trajectory``) — time-to-target instrumentation for the
+        benchmarks.  Never changes the random stream.
     """
 
     num_sweeps: int = 100
     schedule: Optional[TemperatureSchedule] = None
     block_size: Optional[int] = None
+    track_trajectory: bool = False
 
     def __post_init__(self) -> None:
         if self.num_sweeps <= 0:
@@ -73,20 +88,43 @@ class SimulatedAnnealingSolver(QUBOSolver):
         n = model.num_variables
         schedule = resolve_schedule(model, self.config.schedule)
         temperatures = schedule(self.config.num_sweeps)
-        block = self.config.block_size or default_block_size(n)
+        sizer = None
+        if self.config.block_size is not None:
+            block = self.config.block_size
+        else:
+            sizer = AdaptiveBlockSizer(n)
+            block = sizer.block
 
         state = AnnealingState(model, num_reads, rng=rng)
+        trajectory = [] if self.config.track_trajectory else None
+        ran_block = block
         for temperature in temperatures:
+            ran_block = block
             order = rng.permutation(n)
             uniforms = rng.random((num_reads, n))
+            accepted = 0
             for start in range(0, n, block):
                 cols = order[start : start + block]
                 delta = state.flip_deltas(cols)
                 accept = metropolis_accept(
                     delta, temperature, uniforms[:, start : start + cols.size]
                 )
+                accepted += int(np.count_nonzero(accept))
                 state.apply_block_flips(cols, accept)
             state.refresh_energies()
             state.update_best()
+            if trajectory is not None:
+                trajectory.append(float(state.best_energies.min()))
+            if sizer is not None:
+                block = sizer.update(accepted / (num_reads * n))
 
-        return state.best_X, {"num_sweeps": self.config.num_sweeps, "block_size": block}
+        info = {
+            "num_sweeps": self.config.num_sweeps,
+            "block_size": self.config.block_size if sizer is None else "adaptive",
+            # The block the final sweep actually ran with (the sizer's
+            # post-final update proposes a block no sweep ever uses).
+            "final_block_size": ran_block,
+        }
+        if trajectory is not None:
+            info["best_energy_trajectory"] = trajectory
+        return state.best_X, info

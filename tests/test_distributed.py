@@ -484,6 +484,116 @@ class TestShardedResultCache:
         assert (tmp_path / "cache" / "v1").is_dir()
 
 
+class TestShardedCachePrune:
+    """GC tooling for the on-disk store: keep-newest pruning, stale temp
+    cleanup, and safety under concurrent readers."""
+
+    @staticmethod
+    def _fill(store: ShardedResultCache, keys, base_mtime: float = 1_000_000_000.0):
+        """Store one evaluation per key with strictly increasing mtimes."""
+        for index, key in enumerate(keys):
+            store.store_evaluation(key, CachedEvaluation(0.5, float(index), 0.0, None))
+            path = store._entry_path(key, ".eval.json")
+            os.utime(path, (base_mtime + index, base_mtime + index))
+
+    def test_prune_keeps_the_newest_entries(self, tmp_path):
+        store = ShardedResultCache(tmp_path / "cache")
+        keys = [f"k{i}" for i in range(6)]
+        self._fill(store, keys)
+        stats = store.prune(max_entries=2)
+        assert stats == {"kept": 2, "removed": 4, "removed_tmp": 0}
+        assert store.entry_counts() == {"samples": 0, "evaluations": 2}
+        # The two newest survive; everything older reads as a miss.
+        assert store.lookup_evaluation("k5") is not None
+        assert store.lookup_evaluation("k4") is not None
+        assert store.lookup_evaluation("k0") is None
+
+    def test_prune_ranks_samples_and_evaluations_together(self, tmp_path, model):
+        store = ShardedResultCache(tmp_path / "cache")
+        solver = make_solver("sa?num_sweeps=5")
+        store.store_samples("s", solver.sample(model, 2, rng=np.random.default_rng(0)))
+        os.utime(store._entry_path("s", ".samples"), (1_000_000_005, 1_000_000_005))
+        self._fill(store, ["e0", "e1"])  # older than the sample entry
+        assert store.prune(max_entries=1)["removed"] == 2
+        assert store.entry_counts() == {"samples": 1, "evaluations": 0}
+
+    def test_prune_to_zero_clears_the_store(self, tmp_path):
+        store = ShardedResultCache(tmp_path / "cache")
+        self._fill(store, ["a", "b"])
+        assert store.prune(max_entries=0)["kept"] == 0
+        assert store.entry_counts() == {"samples": 0, "evaluations": 0}
+        # A pruned key can be re-stored and read back immediately.
+        store.store_evaluation("a", CachedEvaluation(1.0, 0.0, 0.0, None))
+        assert store.lookup_evaluation("a") is not None
+
+    def test_prune_rejects_negative_budget(self, tmp_path):
+        with pytest.raises(ValueError, match="non-negative"):
+            ShardedResultCache(tmp_path / "cache").prune(max_entries=-1)
+
+    def test_prune_removes_only_stale_temp_files(self, tmp_path):
+        store = ShardedResultCache(tmp_path / "cache")
+        self._fill(store, ["a"])
+        shard = store._entry_path("a", ".eval.json").parent
+        stale = shard / ".x.eval.json.tmp-stale"
+        fresh = shard / ".y.eval.json.tmp-fresh"
+        stale.write_bytes(b"partial")
+        os.utime(stale, (1_000_000_000, 1_000_000_000))
+        fresh.write_bytes(b"in-flight")  # mtime = now: a live writer's file
+        stats = store.prune(max_entries=10)
+        assert stats["removed_tmp"] == 1
+        assert not stale.exists() and fresh.exists()
+
+    def test_prune_removes_corrupt_entries_past_the_budget(self, tmp_path):
+        store = ShardedResultCache(tmp_path / "cache")
+        self._fill(store, ["old", "mid", "new"])
+        corrupt = store._entry_path("old", ".eval.json")
+        corrupt.write_bytes(b"\x00garbage")
+        os.utime(corrupt, (999_999_000, 999_999_000))
+        stats = store.prune(max_entries=1)
+        assert stats == {"kept": 1, "removed": 2, "removed_tmp": 0}
+        assert not corrupt.exists()
+        assert store.lookup_evaluation("new") is not None
+
+    def test_prune_is_safe_under_concurrent_readers(self, tmp_path, model):
+        import threading
+
+        store = ShardedResultCache(tmp_path / "cache")
+        solver = make_solver("sa?num_sweeps=5")
+        samples = solver.sample(model, 2, rng=np.random.default_rng(1))
+        keys = [f"key-{i}" for i in range(12)]
+        for key in keys:
+            store.store_samples(key, samples)
+
+        errors = []
+        stop = threading.Event()
+
+        def reader():
+            try:
+                while not stop.is_set():
+                    for key in keys:
+                        got = store.lookup_samples(key)
+                        if got is not None:
+                            # A served entry is always complete, never partial.
+                            assert np.array_equal(got.assignments, samples.assignments)
+            except BaseException as exc:  # noqa: BLE001 - repack for the main thread
+                errors.append(exc)
+
+        threads = [threading.Thread(target=reader) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        try:
+            for budget in (8, 4, 0):
+                store.prune(max_entries=budget)
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join()
+        assert errors == []
+        assert store.entry_counts() == {"samples": 0, "evaluations": 0}
+        # Readers that lost the race recorded misses, nothing else.
+        assert store.lookup_samples(keys[0]) is None
+
+
 class TestSolverCallCacheTiering:
     def test_memory_miss_falls_back_to_disk_and_repopulates(self, tmp_path, model):
         store = ShardedResultCache(tmp_path / "cache")
