@@ -1,0 +1,92 @@
+"""Compute-layer benchmark: engine sweep throughput, float64 vs float32.
+
+The ``repro.compute`` refactor promises that routing every engine kernel
+through the array-backend handle costs nothing on the numpy/float64
+reference, and that the end-to-end float32 path (state, fields, operator
+values all single-precision; energies re-scored exact) at minimum holds
+throughput parity — float32 halves the kernel memory traffic, so it must
+never be a regression.  This benchmark measures SA, DA and PT sweeps/s on an
+``n = 1000`` random QUBO for each available backend × dtype combination and
+asserts the float32/float64 ratio per solver.
+
+Torch/CuPy enroll automatically when importable (the containerised run is
+numpy-only); the report records exactly which combinations ran.
+
+Collected by the benchmark harness (auto-marked ``slow`` by
+``benchmarks/conftest.py``); run with ``pytest benchmarks/bench_compute.py``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.compute import available_array_backends
+from repro.qubo.model import random_qubo
+from repro.service import make_solver
+
+N = 1000
+NUM_READS = 8
+SEED = 2021
+REPEATS = 3
+#: float32 must not regress throughput; 0.9 absorbs single-run timer noise.
+MIN_FLOAT32_RATIO = 0.9
+
+#: (label, spec template, sweeps performed per read) — one entry per batched
+#: annealing solver.  A DA "step" evaluates all n flip deltas, the same
+#: kernel shape as one SA sweep; PT runs its sweeps on every ladder rung.
+WORKLOADS = [
+    ("sa", "sa?num_sweeps={sweeps}", 30, lambda s: s * NUM_READS),
+    ("da", "da?num_steps={sweeps}", 30, lambda s: s * NUM_READS),
+    (
+        "pt",
+        "pt?num_sweeps={sweeps}&num_replicas=4&swap_interval=5",
+        20,
+        lambda s: s * NUM_READS * 4,
+    ),
+]
+
+
+def _throughput(spec: str, model, total_sweeps: int) -> float:
+    """Best-of-``REPEATS`` sweeps/s for one seeded solver call."""
+    solver = make_solver(spec)
+    solver.sample(model, num_reads=NUM_READS, rng=np.random.default_rng(SEED))  # warm-up
+    best = float("inf")
+    for _ in range(REPEATS):
+        started = time.perf_counter()
+        solver.sample(model, num_reads=NUM_READS, rng=np.random.default_rng(SEED))
+        best = min(best, time.perf_counter() - started)
+    return total_sweeps / best
+
+
+def test_float32_throughput_holds_parity(record_report):
+    model = random_qubo(N, density=0.5, rng=SEED)
+    backends = available_array_backends()
+    lines = [
+        f"engine sweep throughput at n={N}, {NUM_READS} reads "
+        f"(best of {REPEATS}, total batched sweeps/s)",
+        f"  array backends available: {', '.join(backends)}",
+    ]
+    ratios = {}
+    for label, template, sweeps, total in WORKLOADS:
+        base_spec = template.format(sweeps=sweeps)
+        total_sweeps = total(sweeps)
+        rates = {}
+        for kind in backends:
+            for dtype in ("float64", "float32"):
+                spec = f"{base_spec}&array_backend={kind}&dtype={dtype}"
+                rates[(kind, dtype)] = _throughput(spec, model, total_sweeps)
+        ratio = rates[("numpy", "float32")] / rates[("numpy", "float64")]
+        ratios[label] = ratio
+        lines.append(f"  {label:<5} ({base_spec!r})")
+        for (kind, dtype), rate in rates.items():
+            lines.append(f"    {kind}/{dtype:<8}: {rate:8.1f} sweeps/s")
+        lines.append(f"    numpy float32/float64 throughput ratio: {ratio:.2f}x")
+    record_report("bench_compute", "\n".join(lines))
+
+    for label, ratio in ratios.items():
+        assert ratio >= MIN_FLOAT32_RATIO, (
+            f"{label}: float32 throughput is {ratio:.2f}x float64 — the "
+            f"single-precision path must hold parity (>= {MIN_FLOAT32_RATIO}x)"
+        )

@@ -1,0 +1,39 @@
+"""Array-API compute layer: one kernel source, pluggable numpy/torch/CuPy.
+
+See :mod:`repro.compute.backend` for the :class:`ArrayBackend` contract and
+selection precedence (solver config > ``QROSS_ARRAY_BACKEND`` /
+``QROSS_ENGINE_DTYPE`` environment knobs > numpy/float64 reference).
+"""
+
+from repro.compute.backend import (
+    BACKEND_ENV,
+    DTYPE_ENV,
+    SUPPORTED_DTYPES,
+    ArrayBackend,
+    ArrayBackendUnavailable,
+    NumpyArrayBackend,
+    available_array_backends,
+    get_array_backend,
+    register_array_backend,
+    registered_array_backends,
+    resolve_array_backend,
+    validate_engine_dtype,
+)
+from repro.compute.operators import BackendDenseOperator, BackendSparseOperator
+
+__all__ = [
+    "BACKEND_ENV",
+    "DTYPE_ENV",
+    "SUPPORTED_DTYPES",
+    "ArrayBackend",
+    "ArrayBackendUnavailable",
+    "BackendDenseOperator",
+    "BackendSparseOperator",
+    "NumpyArrayBackend",
+    "available_array_backends",
+    "get_array_backend",
+    "register_array_backend",
+    "registered_array_backends",
+    "resolve_array_backend",
+    "validate_engine_dtype",
+]

@@ -1,0 +1,88 @@
+"""CuPy array backend (imported lazily; requires ``cupy`` installed).
+
+CuPy's namespace is numpy-compatible, so ``xp`` is the ``cupy`` module
+itself; only the host/device transfers and the CSR product need adapting.
+Results fall under the tolerance-based parity tier (GPU reduction orders
+differ from host numpy) while the host-numpy random stream keeps seeded
+trajectories backend-invariant up to floating point.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compute.backend import ArrayBackend, ArrayBackendUnavailable
+
+try:  # pragma: no cover - exercised only where cupy is installed
+    import cupy
+    import cupyx.scipy.sparse as cupy_sparse
+except ImportError as _exc:  # pragma: no cover
+    cupy = None
+    cupy_sparse = None
+    _IMPORT_ERROR = _exc
+else:  # pragma: no cover
+    _IMPORT_ERROR = None
+
+
+class CupyArrayBackend(ArrayBackend):  # pragma: no cover - requires cupy
+    """Engine backend computing on the current CUDA device via CuPy."""
+
+    kind = "cupy"
+
+    def __init__(self, dtype: str = "float64") -> None:
+        if cupy is None:
+            raise ArrayBackendUnavailable(
+                f"the cupy array backend requires cupy: {_IMPORT_ERROR}"
+            )
+        super().__init__(dtype)
+        self._dtype = cupy.dtype(self.dtype_name)
+        try:
+            cupy.zeros(1)  # fail fast when no CUDA device is usable
+        except Exception as exc:
+            raise ArrayBackendUnavailable(f"cupy cannot allocate on a device: {exc}")
+
+    @property
+    def xp(self):
+        return cupy
+
+    @property
+    def dtype(self):
+        return self._dtype
+
+    @property
+    def device(self):
+        return f"cuda:{cupy.cuda.runtime.getDevice()}"
+
+    def asarray(self, values, dtype=None):
+        return cupy.asarray(values, dtype=self._dtype if dtype is None else dtype)
+
+    def asindex(self, values):
+        return cupy.asarray(values, dtype=cupy.int64)
+
+    def to_numpy(self, values):
+        if isinstance(values, cupy.ndarray):
+            return cupy.asnumpy(values)
+        return np.asarray(values)
+
+    def copy(self, values):
+        return values.copy()
+
+    def log_guarded(self, values):
+        return cupy.log(values)
+
+    def synchronize(self) -> None:
+        cupy.cuda.get_current_stream().synchronize()
+
+    def prepare_csr(self, data, indices, indptr, shape):
+        return cupy_sparse.csr_matrix(
+            (
+                cupy.asarray(data, dtype=self._dtype),
+                cupy.asarray(indices, dtype=cupy.int32),
+                cupy.asarray(indptr, dtype=cupy.int32),
+            ),
+            shape=shape,
+        )
+
+    def csr_right_multiply(self, X, csr):
+        # Q is symmetric by the model contract: X @ Q == (Q @ X^T)^T.
+        return (csr @ X.T).T

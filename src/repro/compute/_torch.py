@@ -1,0 +1,156 @@
+"""Torch array backend (imported lazily; requires ``torch`` installed).
+
+Torch's namespace is *almost* numpy-compatible for the operations the engine
+kernels use; :class:`_TorchNamespace` shims the differences (``dim`` vs
+``axis``, missing ``argpartition``/``put_along_axis``) so the kernels can use
+one calling convention everywhere.  Results on this backend fall under the
+tolerance-based parity tier — reduction orders and fused kernels differ from
+numpy — while the random stream stays host-numpy and therefore identical.
+
+Device selection: ``QROSS_TORCH_DEVICE`` if set, else CUDA when available,
+else CPU.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.compute.backend import ArrayBackend, ArrayBackendUnavailable
+
+try:  # pragma: no cover - exercised only where torch is installed
+    import torch
+except ImportError as _exc:  # pragma: no cover
+    torch = None
+    _IMPORT_ERROR = _exc
+else:  # pragma: no cover
+    _IMPORT_ERROR = None
+
+
+class _TorchNamespace:  # pragma: no cover - requires torch
+    """Numpy-signature shim over the torch namespace for the engine kernels."""
+
+    inf = float("inf")
+
+    def __init__(self, device, dtype):
+        self._device = device
+        self._dtype = dtype
+        self.bool = torch.bool
+        self.int64 = torch.int64
+        self.float32 = torch.float32
+        self.float64 = torch.float64
+
+    def asarray(self, values, dtype=None):
+        return torch.as_tensor(values, dtype=dtype, device=self._device)
+
+    def zeros(self, shape, dtype=None):
+        return torch.zeros(shape, dtype=dtype or self._dtype, device=self._device)
+
+    def zeros_like(self, values, dtype=None):
+        return torch.zeros_like(values, dtype=dtype)
+
+    def full(self, shape, fill_value, dtype=None):
+        return torch.full(shape, fill_value, dtype=dtype, device=self._device)
+
+    def arange(self, *args, dtype=None):
+        return torch.arange(*args, dtype=dtype, device=self._device)
+
+    def exp(self, values):
+        return torch.exp(values)
+
+    def log(self, values):
+        return torch.log(values)
+
+    def clip(self, values, low=None, high=None):
+        return torch.clamp(values, min=low, max=high)
+
+    def where(self, condition, a, b):
+        return torch.where(condition, a, b)
+
+    def sum(self, values, axis=None):
+        return torch.sum(values, dim=axis) if axis is not None else torch.sum(values)
+
+    def any(self, values, axis=None):
+        return torch.any(values, dim=axis) if axis is not None else torch.any(values)
+
+    def count_nonzero(self, values):
+        return torch.count_nonzero(values)
+
+    def argmax(self, values, axis=None):
+        return torch.argmax(values, dim=axis)
+
+    def argmin(self, values, axis=None):
+        return torch.argmin(values, dim=axis)
+
+    def argpartition(self, values, kth, axis=-1):
+        # The engine only consumes the leading ``kth + 1`` entries (top-k
+        # selection); torch.topk returns them directly.
+        return torch.topk(-values, kth + 1, dim=axis, largest=True).indices
+
+    def put_along_axis(self, values, indices, fill, axis):
+        values.scatter_(axis, indices, bool(fill) if values.dtype == torch.bool else fill)
+
+
+class TorchArrayBackend(ArrayBackend):  # pragma: no cover - requires torch
+    """Engine backend computing on torch tensors (CPU or CUDA)."""
+
+    kind = "torch"
+
+    def __init__(self, dtype: str = "float64") -> None:
+        if torch is None:
+            raise ArrayBackendUnavailable(
+                f"the torch array backend requires torch: {_IMPORT_ERROR}"
+            )
+        super().__init__(dtype)
+        name = os.environ.get("QROSS_TORCH_DEVICE")
+        if name is None:
+            name = "cuda" if torch.cuda.is_available() else "cpu"
+        self._device = torch.device(name)
+        self._dtype = torch.float64 if self.dtype_name == "float64" else torch.float32
+        self._xp = _TorchNamespace(self._device, self._dtype)
+
+    @property
+    def xp(self):
+        return self._xp
+
+    @property
+    def dtype(self):
+        return self._dtype
+
+    @property
+    def device(self):
+        return self._device
+
+    def asarray(self, values, dtype=None):
+        return torch.as_tensor(
+            values, dtype=self._dtype if dtype is None else dtype, device=self._device
+        )
+
+    def asindex(self, values):
+        return torch.as_tensor(values, dtype=torch.int64, device=self._device)
+
+    def to_numpy(self, values):
+        if isinstance(values, torch.Tensor):
+            return values.detach().cpu().numpy()
+        return np.asarray(values)
+
+    def copy(self, values):
+        return values.clone()
+
+    def synchronize(self) -> None:
+        if self._device.type == "cuda":
+            torch.cuda.synchronize(self._device)
+
+    def prepare_csr(self, data, indices, indptr, shape):
+        return torch.sparse_csr_tensor(
+            torch.as_tensor(indptr, dtype=torch.int64, device=self._device),
+            torch.as_tensor(indices, dtype=torch.int64, device=self._device),
+            torch.as_tensor(np.asarray(data), dtype=self._dtype, device=self._device),
+            size=shape,
+        )
+
+    def csr_right_multiply(self, X, csr):
+        # Q is symmetric by the model contract, so X @ Q == (Q @ X^T)^T and
+        # torch's sparse-dense matmul covers it without a CSC dual.
+        return (csr @ X.T).T

@@ -1,0 +1,356 @@
+"""Pluggable array-compute backends for the batched solver engine.
+
+Every replica-batched solver in this package (SA, adaptive-block SA, DA,
+multi-flip DA, PT, tabu and, through tabu, qbsolv) runs its hot kernels
+through one :class:`ArrayBackend` handle: a *namespace + device + dtype*
+bundle in the style of ``array_api_compat`` namespace dispatch.  The engine
+kernels never call ``np.*`` directly — they call ``ab.xp.*`` and the handful
+of :class:`ArrayBackend` helper methods — so swapping numpy for CuPy or torch
+is a constructor argument, not a rewrite.
+
+Three backends are known out of the box:
+
+* ``numpy`` — the reference backend.  With ``dtype="float64"`` it *is* the
+  historical engine: ``xp`` is the ``numpy`` module itself and every
+  conversion helper is a no-op ``asarray``, so seeded solves are
+  byte-identical to the pre-refactor code (the determinism matrix pins this).
+  ``dtype="float32"`` gives the single-precision end-to-end path on the same
+  kernels.
+* ``torch`` / ``cupy`` — imported lazily and only usable when the library is
+  installed; :func:`available_array_backends` lists what this process can
+  actually construct.  Their results fall under the tolerance-based parity
+  tier, not byte-identity.
+
+Selection precedence, highest first:
+
+1. an explicit solver-config option (``sa?array_backend=torch&dtype=float32``),
+2. the ``QROSS_ARRAY_BACKEND`` / ``QROSS_ENGINE_DTYPE`` environment variables,
+3. the defaults ``numpy`` / ``float64``.
+
+Random number generation deliberately stays on the host numpy
+``Generator``: every backend consumes the *same* host-drawn uniforms and
+permutations (transferred via :meth:`ArrayBackend.from_numpy`), so the random
+stream — and therefore the seeded trajectory up to floating-point effects —
+is backend-invariant, and the numpy/float64 path consumes it bit-for-bit as
+before.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+#: Environment variable selecting the engine's array backend by name.
+BACKEND_ENV = "QROSS_ARRAY_BACKEND"
+#: Environment variable selecting the engine's floating-point dtype.
+DTYPE_ENV = "QROSS_ENGINE_DTYPE"
+
+#: Engine float dtypes a backend must support.
+SUPPORTED_DTYPES = ("float64", "float32")
+
+DEFAULT_BACKEND = "numpy"
+DEFAULT_DTYPE = "float64"
+
+
+class ArrayBackendUnavailable(RuntimeError):
+    """The requested backend's underlying library cannot be imported."""
+
+
+def validate_engine_dtype(dtype: Optional[str]) -> Optional[str]:
+    """Validate a dtype knob value (``None`` means "inherit")."""
+    if dtype is None:
+        return None
+    key = str(dtype).strip().lower()
+    if key not in SUPPORTED_DTYPES:
+        raise ValueError(
+            f"unsupported engine dtype {dtype!r}; supported: {SUPPORTED_DTYPES}"
+        )
+    return key
+
+
+class ArrayBackend:
+    """Namespace + device + dtype bundle the engine kernels compute through.
+
+    Subclasses provide the array namespace ``xp`` (numpy-compatible call
+    signatures for the operations the kernels use), the device the arrays
+    live on, and the conversion helpers that move data across the host/device
+    boundary.  The contract the engine relies on:
+
+    * all state arrays (``X``/``H``/energies) are created through
+      :meth:`asarray` / :meth:`from_numpy` and therefore live on ``device``
+      in ``dtype``;
+    * host randomness enters exclusively through :meth:`from_numpy`;
+    * results leave exclusively through :meth:`to_numpy` — device→host
+      transfer happens only at read-out.
+    """
+
+    #: Backend family name ("numpy", "torch", "cupy", ...).
+    kind = "abstract"
+
+    def __init__(self, dtype: str = DEFAULT_DTYPE) -> None:
+        self.dtype_name = validate_engine_dtype(dtype) or DEFAULT_DTYPE
+
+    # ------------------------------------------------------------- identity
+    @property
+    def xp(self):
+        """The array namespace (numpy-compatible signatures)."""
+        raise NotImplementedError
+
+    @property
+    def dtype(self):
+        """The backend-native dtype object for engine floats."""
+        raise NotImplementedError
+
+    @property
+    def device(self):
+        """Device token the arrays live on (``None`` = host)."""
+        return None
+
+    @property
+    def is_reference(self) -> bool:
+        """Whether this is the byte-identity reference (numpy float64)."""
+        return self.kind == "numpy" and self.dtype_name == "float64"
+
+    def cache_key(self) -> Tuple[str, str, str]:
+        """Hashable identity used to memoise per-backend adapted operators."""
+        return (self.kind, self.dtype_name, str(self.device))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"{type(self).__name__}(kind={self.kind!r}, dtype={self.dtype_name!r}, "
+            f"device={self.device!r})"
+        )
+
+    # ---------------------------------------------------------- conversions
+    def asarray(self, values, dtype=None):
+        """Device array in the engine dtype (or an explicit ``dtype``)."""
+        raise NotImplementedError
+
+    def asindex(self, values):
+        """Device integer array usable for advanced indexing."""
+        raise NotImplementedError
+
+    def from_numpy(self, values: np.ndarray):
+        """Host array → device array in the engine dtype.
+
+        On the reference backend this is a plain no-copy ``asarray`` so host
+        randomness reaches the kernels bit-for-bit.
+        """
+        return self.asarray(values)
+
+    def to_numpy(self, values) -> np.ndarray:
+        """Device array → host numpy array (the read-out transfer)."""
+        raise NotImplementedError
+
+    def copy(self, values):
+        """An independent copy of a device array."""
+        raise NotImplementedError
+
+    # ----------------------------------------------------------- operations
+    def log_guarded(self, values):
+        """Elementwise log with ``log(0) -> -inf`` silenced (swap criterion)."""
+        return self.xp.log(values)
+
+    def synchronize(self) -> None:
+        """Block until queued device work completes (benchmark timing aid)."""
+
+    # ------------------------------------------------------------ operators
+    def adapt_operator(self, operator):
+        """The coefficient operator to use for this backend.
+
+        The reference backend returns the operator unchanged (preserving the
+        historical float64 arrays and their model-level cache); every other
+        backend/dtype goes through the operator's ``to_backend`` hook, which
+        memoises per :meth:`cache_key`.
+        """
+        if self.is_reference:
+            return operator
+        to_backend = getattr(operator, "to_backend", None)
+        if to_backend is None:
+            raise TypeError(
+                f"operator {type(operator).__name__} does not support array "
+                f"backends (missing to_backend); run it on the reference "
+                f"numpy/float64 backend"
+            )
+        return to_backend(self)
+
+    # ------------------------------------------------------------ sparse mm
+    def prepare_csr(self, data, indices, indptr, shape):
+        """Backend-resident CSR handle for :meth:`csr_right_multiply`."""
+        raise NotImplementedError
+
+    def csr_right_multiply(self, X, csr):
+        """``X @ Q`` for a CSR handle from :meth:`prepare_csr` (symmetric Q)."""
+        raise NotImplementedError
+
+
+class NumpyArrayBackend(ArrayBackend):
+    """The reference backend: host numpy, float64 or float32."""
+
+    kind = "numpy"
+
+    def __init__(self, dtype: str = DEFAULT_DTYPE) -> None:
+        super().__init__(dtype)
+        self._dtype = np.dtype(self.dtype_name)
+
+    @property
+    def xp(self):
+        return np
+
+    @property
+    def dtype(self):
+        return self._dtype
+
+    def asarray(self, values, dtype=None):
+        return np.asarray(values, dtype=self._dtype if dtype is None else dtype)
+
+    def asindex(self, values):
+        return np.asarray(values, dtype=np.intp)
+
+    def to_numpy(self, values) -> np.ndarray:
+        return np.asarray(values)
+
+    def copy(self, values):
+        return np.array(values, copy=True)
+
+    def log_guarded(self, values):
+        with np.errstate(divide="ignore"):
+            return np.log(values)
+
+    def prepare_csr(self, data, indices, indptr, shape):
+        from repro.utils.sparse import scipy_sparse as _sparse
+
+        if _sparse is None:  # pragma: no cover - scipy is a hard test dep
+            raise RuntimeError("scipy is required for the CSR operator")
+        return _sparse.csr_array(
+            (
+                np.asarray(data, dtype=self._dtype),
+                np.asarray(indices),
+                np.asarray(indptr),
+            ),
+            shape=shape,
+        )
+
+    def csr_right_multiply(self, X, csr):
+        return np.asarray(X @ csr, dtype=self._dtype)
+
+
+# --------------------------------------------------------------------- registry
+_REGISTRY_LOCK = threading.Lock()
+_FACTORIES: Dict[str, Callable[[str], ArrayBackend]] = {}
+_INSTANCES: Dict[Tuple[str, str], ArrayBackend] = {}
+
+
+def register_array_backend(
+    name: str, factory: Callable[[str], ArrayBackend], replace: bool = False
+) -> None:
+    """Register ``factory(dtype) -> ArrayBackend`` under ``name``.
+
+    A factory whose library is missing should raise
+    :class:`ArrayBackendUnavailable` when *called* — registration itself must
+    stay import-free so merely listing backends never drags in torch/CuPy.
+    """
+    key = name.strip().lower()
+    if not key:
+        raise ValueError("backend name must be non-empty")
+    with _REGISTRY_LOCK:
+        if key in _FACTORIES and not replace:
+            raise ValueError(f"array backend {key!r} is already registered")
+        _FACTORIES[key] = factory
+        for cached in [k for k in _INSTANCES if k[0] == key]:
+            del _INSTANCES[cached]
+
+
+def _torch_factory(dtype: str) -> ArrayBackend:
+    from repro.compute._torch import TorchArrayBackend
+
+    return TorchArrayBackend(dtype)
+
+
+def _cupy_factory(dtype: str) -> ArrayBackend:
+    from repro.compute._cupy import CupyArrayBackend
+
+    return CupyArrayBackend(dtype)
+
+
+_FACTORIES["numpy"] = NumpyArrayBackend
+_FACTORIES["torch"] = _torch_factory
+_FACTORIES["cupy"] = _cupy_factory
+
+
+def registered_array_backends() -> Tuple[str, ...]:
+    """Every registered backend name (importable or not), sorted."""
+    with _REGISTRY_LOCK:
+        return tuple(sorted(_FACTORIES))
+
+
+def available_array_backends() -> Tuple[str, ...]:
+    """Registered backends whose library actually imports in this process.
+
+    The probe constructs (and caches) a default-dtype instance per backend,
+    so availability reflects reality — a registered-but-uninstalled torch
+    does not appear.  Registry-driven test matrices iterate this, which is
+    how future backends auto-enroll in the parity tier.
+    """
+    names = []
+    for name in registered_array_backends():
+        try:
+            get_array_backend(name)
+        except ArrayBackendUnavailable:
+            continue
+        names.append(name)
+    return tuple(names)
+
+
+def get_array_backend(
+    name: str = DEFAULT_BACKEND, dtype: str = DEFAULT_DTYPE
+) -> ArrayBackend:
+    """The shared :class:`ArrayBackend` instance for ``(name, dtype)``.
+
+    Instances are cached process-wide: adapted operators memoise per backend
+    instance, so repeated solver calls must resolve to the same object.
+    Raises :class:`ArrayBackendUnavailable` when the backend's library is not
+    installed and ``ValueError`` for names nothing registered.
+    """
+    key = name.strip().lower()
+    dtype = validate_engine_dtype(dtype) or DEFAULT_DTYPE
+    with _REGISTRY_LOCK:
+        factory = _FACTORIES.get(key)
+    if factory is None:
+        raise ValueError(
+            f"unknown array backend {name!r}; registered backends: "
+            f"{', '.join(registered_array_backends())}"
+        )
+    cache_key = (key, dtype)
+    with _REGISTRY_LOCK:
+        instance = _INSTANCES.get(cache_key)
+    if instance is not None:
+        return instance
+    instance = factory(dtype)
+    with _REGISTRY_LOCK:
+        return _INSTANCES.setdefault(cache_key, instance)
+
+
+def resolve_array_backend(
+    backend: "str | ArrayBackend | None" = None, dtype: Optional[str] = None
+) -> ArrayBackend:
+    """Resolve the backend the engine should compute on.
+
+    ``backend`` may be an :class:`ArrayBackend` instance (returned as-is, or
+    re-fetched with ``dtype`` applied when one is given), a registered name,
+    or ``None`` — in which case the ``QROSS_ARRAY_BACKEND`` /
+    ``QROSS_ENGINE_DTYPE`` environment knobs apply, falling back to the
+    numpy/float64 reference.
+    """
+    if isinstance(backend, ArrayBackend):
+        if dtype is None or validate_engine_dtype(dtype) == backend.dtype_name:
+            return backend
+        return get_array_backend(backend.kind, dtype)
+    if backend is None:
+        backend = os.environ.get(BACKEND_ENV) or DEFAULT_BACKEND
+    if dtype is None:
+        dtype = os.environ.get(DTYPE_ENV) or DEFAULT_DTYPE
+    return get_array_backend(backend, dtype)

@@ -1,0 +1,121 @@
+"""Backend-resident coefficient operators for the annealing engine.
+
+The model-level operators (:class:`repro.qubo.model.DenseOperator`,
+:class:`~repro.qubo.model.SparseOperator`) hold host float64/float32 numpy
+data.  When a solver runs on a non-reference :class:`~repro.compute.backend.
+ArrayBackend` (another dtype, another device), the operator's ``to_backend``
+hook wraps the same coefficients in one of the classes below, which keep the
+matrix data on the backend's device in the engine dtype and execute
+``right_multiply`` / ``rows`` / ``block_product`` there — device→host
+transfer happens only at solver read-out, never inside a sweep.
+
+These wrappers depend only on numpy and the :class:`ArrayBackend` protocol
+(never on :mod:`repro.qubo`), so the import points one way:
+``qubo.model → compute.operators → compute.backend``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class BackendDenseOperator:
+    """Dense coefficient kernel living on an :class:`ArrayBackend`.
+
+    ``diag`` stays a host float64 array (it parameterises host-side setup like
+    schedules); the engine converts it to the backend dtype when it builds its
+    state.
+    """
+
+    kind = "dense"
+
+    def __init__(self, Q: np.ndarray, diag: np.ndarray, ab) -> None:
+        self.ab = ab
+        self._Q = ab.asarray(Q)
+        self.diag = np.ascontiguousarray(diag, dtype=np.float64)
+
+    @property
+    def num_variables(self) -> int:
+        return int(self._Q.shape[0])
+
+    def right_multiply(self, X):
+        """``X @ Q`` for a batch of device states — initialises local fields."""
+        return X @ self._Q
+
+    def rows(self, indices):
+        """Gather of the requested rows, shape ``(len(indices), n)``."""
+        return self._Q[self.ab.asindex(indices)]
+
+    def row(self, index: int):
+        """Single row (a view on backends that support views)."""
+        return self._Q[index]
+
+    def block_product(self, dX_block, block):
+        """``dX_block @ Q[block, :]`` — the local-field update of a block flip."""
+        return dX_block @ self._Q[self.ab.asindex(block)]
+
+
+class BackendSparseOperator:
+    """CSR coefficient kernel living on an :class:`ArrayBackend`.
+
+    The CSR structure (``indptr``/``indices``) is kept on the host — row
+    gathers need it for bookkeeping only — while the coefficient data and a
+    backend-prepared CSR handle live on the device.  Row gathers are fully
+    vectorised: one host index computation, one device scatter.
+    """
+
+    kind = "sparse"
+
+    def __init__(
+        self,
+        data: np.ndarray,
+        indices: np.ndarray,
+        indptr: np.ndarray,
+        shape,
+        diag: np.ndarray,
+        ab,
+    ) -> None:
+        self.ab = ab
+        self._shape = (int(shape[0]), int(shape[1]))
+        self._host_indptr = np.ascontiguousarray(indptr, dtype=np.int64)
+        self._host_indices = np.ascontiguousarray(indices, dtype=np.int64)
+        self._data = ab.asarray(data)
+        self._csr = ab.prepare_csr(data, self._host_indices, self._host_indptr, self._shape)
+        self.diag = np.ascontiguousarray(diag, dtype=np.float64)
+
+    @property
+    def num_variables(self) -> int:
+        return self._shape[0]
+
+    def right_multiply(self, X):
+        return self.ab.csr_right_multiply(X, self._csr)
+
+    def _gather(self, idx: np.ndarray):
+        """Dense device rows for host row indices ``idx`` (vectorised)."""
+        starts = self._host_indptr[idx]
+        counts = self._host_indptr[idx + 1] - starts
+        total = int(counts.sum())
+        ab = self.ab
+        out = ab.xp.zeros((idx.size, self.num_variables), dtype=ab.dtype)
+        if total:
+            offsets = np.cumsum(counts) - counts
+            positions = np.repeat(starts - offsets, counts) + np.arange(total)
+            row_ids = np.repeat(np.arange(idx.size), counts)
+            col_ids = self._host_indices[positions]
+            out[ab.asindex(row_ids), ab.asindex(col_ids)] = self._data[
+                ab.asindex(positions)
+            ]
+        return out
+
+    def _host_idx(self, indices) -> np.ndarray:
+        """Indices as host int64 (row gathers do their bookkeeping on host)."""
+        return np.atleast_1d(np.asarray(self.ab.to_numpy(indices), dtype=np.int64))
+
+    def rows(self, indices):
+        return self._gather(self._host_idx(indices))
+
+    def row(self, index: int):
+        return self._gather(np.asarray([index], dtype=np.int64))[0]
+
+    def block_product(self, dX_block, block):
+        return dX_block @ self._gather(self._host_idx(block))

@@ -66,6 +66,14 @@ class ExperimentProfile:
     # Digital annealer: accepted flips applied per step (1 = published
     # single-flip algorithm; >1 = the parallel multi-flip variant).
     da_max_parallel_flips: int = 1
+    # Compute: array backend and float precision the engine kernels run on for
+    # every solver this profile builds.  ``None`` inherits the process default
+    # (the ``QROSS_ARRAY_BACKEND`` / ``QROSS_ENGINE_DTYPE`` env vars, i.e. the
+    # numpy/float64 reference out of the box); ``array_backend="torch"`` +
+    # ``engine_dtype="float32"`` moves the sweeps to torch tensors in single
+    # precision where that pays (GPU hosts, large instances).
+    array_backend: str | None = None
+    engine_dtype: str | None = None
     # Reproducibility.
     seed: int = 2021
 
@@ -73,6 +81,8 @@ class ExperimentProfile:
         return DigitalAnnealerConfig(
             steps_per_variable=self.da_steps_per_variable,
             max_parallel_flips=self.da_max_parallel_flips,
+            array_backend=self.array_backend,
+            dtype=self.engine_dtype,
         )
 
     def parallel_tempering_config(self) -> ParallelTemperingConfig:
@@ -80,10 +90,16 @@ class ExperimentProfile:
             num_sweeps=self.sa_num_sweeps,
             num_replicas=self.pt_num_replicas,
             swap_interval=self.pt_swap_interval,
+            array_backend=self.array_backend,
+            dtype=self.engine_dtype,
         )
 
     def simulated_annealing_config(self) -> SimulatedAnnealingConfig:
-        return SimulatedAnnealingConfig(num_sweeps=self.sa_num_sweeps)
+        return SimulatedAnnealingConfig(
+            num_sweeps=self.sa_num_sweeps,
+            array_backend=self.array_backend,
+            dtype=self.engine_dtype,
+        )
 
     def qbsolv_config(self) -> QbsolvConfig:
         return QbsolvConfig(
@@ -95,6 +111,8 @@ class ExperimentProfile:
         return TabuSearchConfig(
             num_steps=self.qbsolv_tabu_steps,
             restart_after=max(20, self.qbsolv_tabu_steps // 3),
+            array_backend=self.array_backend,
+            dtype=self.engine_dtype,
         )
 
     def quantum_annealer_config(self) -> QuantumAnnealerConfig:

@@ -67,6 +67,7 @@ class DenseOperator:
     def __init__(self, Q: np.ndarray) -> None:
         self._Q = np.ascontiguousarray(Q, dtype=np.float64)
         self.diag = np.ascontiguousarray(np.diag(self._Q))
+        self._adapted: Dict[tuple, object] = {}
 
     @property
     def num_variables(self) -> int:
@@ -87,6 +88,21 @@ class DenseOperator:
     def block_product(self, dX_block: np.ndarray, block: np.ndarray) -> np.ndarray:
         """``dX_block @ Q[block, :]`` — the local-field update of a block flip."""
         return np.asarray(dX_block @ self._Q[block], dtype=np.float64)
+
+    def to_backend(self, ab):
+        """This operator's coefficients on array backend ``ab`` (memoised).
+
+        Called by :meth:`repro.compute.ArrayBackend.adapt_operator` for every
+        non-reference backend; the reference numpy/float64 path uses ``self``
+        directly and never reaches here.
+        """
+        key = ab.cache_key()
+        cached = self._adapted.get(key)
+        if cached is None:
+            from repro.compute.operators import BackendDenseOperator
+
+            cached = self._adapted[key] = BackendDenseOperator(self._Q, self.diag, ab)
+        return cached
 
 
 class SparseOperator:
@@ -119,6 +135,7 @@ class SparseOperator:
         self._indptr = self._Q.indptr
         self._indices = self._Q.indices
         self._data = self._Q.data.astype(np.float64)
+        self._adapted: Dict[tuple, object] = {}
 
     @property
     def num_variables(self) -> int:
@@ -143,6 +160,28 @@ class SparseOperator:
 
     def block_product(self, dX_block: np.ndarray, block: np.ndarray) -> np.ndarray:
         return dX_block @ self.rows(block)
+
+    def to_backend(self, ab):
+        """This operator's CSR triplet on array backend ``ab`` (memoised).
+
+        The float64 ``_data`` (not the float32 CSR) seeds the backend copy so
+        a float64 torch/CuPy run steers with the same precision the reference
+        engine would.
+        """
+        key = ab.cache_key()
+        cached = self._adapted.get(key)
+        if cached is None:
+            from repro.compute.operators import BackendSparseOperator
+
+            cached = self._adapted[key] = BackendSparseOperator(
+                self._data,
+                self._indices,
+                self._indptr,
+                self._Q.shape,
+                self.diag,
+                ab,
+            )
+        return cached
 
 
 @dataclass(frozen=True)
@@ -601,15 +640,45 @@ def random_qubo(
     scale: float = 1.0,
     rng: np.random.Generator | None = None,
     name: str = "random",
+    storage: str = "dense",
 ) -> QUBOModel:
-    """Generate a random QUBO with Gaussian coefficients (testing / benchmarking aid)."""
+    """Generate a random QUBO with Gaussian coefficients (testing / benchmarking aid).
+
+    ``storage="dense"`` (the default, unchanged from earlier releases) draws a
+    full ``n x n`` Gaussian matrix and masks it down to ``density``.
+    ``storage="sparse"`` instead accumulates COO triplets sized to the target
+    density and never allocates a dense intermediate, so instances far beyond
+    dense memory limits (``n`` in the hundreds of thousands at low density)
+    can be generated directly as CSR models.  The two paths draw different
+    random streams, so they are *not* sample-for-sample identical at equal
+    seeds; the sparse path's density is exact in expectation (upper-triangle
+    positions are drawn i.i.d., duplicates coalesce by summation).
+    """
     from repro.utils.rng import ensure_rng
 
     if num_variables <= 0:
         raise ValueError("num_variables must be positive")
     if not (0.0 < density <= 1.0):
         raise ValueError("density must lie in (0, 1]")
+    if storage not in ("dense", "sparse"):
+        raise ValueError(f"unknown storage {storage!r}")
     rng = ensure_rng(rng)
+    if storage == "sparse":
+        if _sparse is None:
+            raise RuntimeError("scipy is required for storage='sparse'")
+        from repro.qubo.expression import QUBOAccumulator
+
+        n = num_variables
+        num_draws = int(round(density * n * (n + 1) / 2.0))
+        acc = QUBOAccumulator(n)
+        if num_draws:
+            i = rng.integers(0, n, size=num_draws)
+            j = rng.integers(0, n, size=num_draws)
+            rows = np.minimum(i, j)
+            cols = np.maximum(i, j)
+            values = rng.normal(0.0, scale, size=num_draws)
+            acc.add_quadratic(rows, cols, values)
+        return acc.build(name=name, storage="sparse")
     Q = rng.normal(0.0, scale, size=(num_variables, num_variables))
     Q = (Q + Q.T) / 2.0
     if density < 1.0:

@@ -159,24 +159,53 @@ class ShardedResultCache:
                         samples += 1
         return {"samples": samples, "evaluations": evaluations}
 
-    def prune(self, max_entries: int, max_tmp_age_s: float = 3600.0) -> dict:
-        """Garbage-collect the store down to its ``max_entries`` newest entries.
+    def prune(
+        self,
+        max_entries: Optional[int] = None,
+        max_tmp_age_s: float = 3600.0,
+        max_total_bytes: Optional[int] = None,
+        max_age_s: Optional[float] = None,
+    ) -> dict:
+        """Garbage-collect the store by count, byte budget and/or age TTL.
 
-        Entries (sample sets and evaluations together) are ranked by
-        modification time and everything beyond the newest ``max_entries`` is
-        unlinked; stale ``.tmp-*`` files left by crashed writers are removed
-        once older than ``max_tmp_age_s`` (never younger — a live writer's
-        temp file must survive until its ``os.replace``).  Deletion is safe
-        under concurrent readers and writers: a reader that loses the race
-        simply records a miss (and re-runs the deterministic call), a
-        concurrent writer re-creates its entry with a fresh mtime.  Files that
-        vanish mid-scan (another pruner, a concurrent ``_drop_corrupt``) are
-        skipped.  Returns ``{"kept": n, "removed": m, "removed_tmp": t}``.
+        At least one of ``max_entries`` / ``max_total_bytes`` / ``max_age_s``
+        must be given; the criteria compose (an entry survives only if it
+        passes all of them):
+
+        * ``max_age_s`` — entries whose modification time is older than this
+          many seconds are expired outright (TTL), regardless of the budgets.
+        * ``max_entries`` / ``max_total_bytes`` — the surviving entries are
+          ranked newest-first and kept while both the entry count and the
+          cumulative byte size stay within budget; the cut is strict recency
+          (once either budget is exhausted every older entry goes, so the kept
+          set is always a newest-prefix — two pruners always agree on it).
+
+        Entries (sample sets and evaluations together) compete in one pool;
+        stale ``.tmp-*`` files left by crashed writers are removed once older
+        than ``max_tmp_age_s`` (never younger — a live writer's temp file must
+        survive until its ``os.replace``).  Deletion is safe under concurrent
+        readers and writers: a reader that loses the race simply records a
+        miss (and re-runs the deterministic call), a concurrent writer
+        re-creates its entry with a fresh mtime.  Files that vanish mid-scan
+        (another pruner, a concurrent ``_drop_corrupt``) are skipped.
+
+        Returns ``{"kept": n, "kept_bytes": b, "removed": m,
+        "removed_expired": e, "removed_tmp": t}`` (``removed`` includes the
+        expired entries).
         """
-        if max_entries < 0:
+        if max_entries is None and max_total_bytes is None and max_age_s is None:
+            raise ValueError(
+                "prune() needs at least one criterion: max_entries, "
+                "max_total_bytes or max_age_s"
+            )
+        if max_entries is not None and max_entries < 0:
             raise ValueError("max_entries must be non-negative")
+        if max_total_bytes is not None and max_total_bytes < 0:
+            raise ValueError("max_total_bytes must be non-negative")
+        if max_age_s is not None and max_age_s < 0:
+            raise ValueError("max_age_s must be non-negative")
         now = time.time()
-        entries: List[Tuple[float, Path]] = []
+        entries: List[Tuple[float, int, Path]] = []
         removed_tmp = 0
         if self._version_dir.is_dir():
             for shard in self._version_dir.iterdir():
@@ -184,11 +213,12 @@ class ShardedResultCache:
                     continue
                 for path in shard.iterdir():
                     try:
-                        mtime = path.stat().st_mtime
+                        stat = path.stat()
                     except OSError:
                         continue
+                    mtime = stat.st_mtime
                     if path.name.endswith((_SAMPLES_SUFFIX, _EVAL_SUFFIX)):
-                        entries.append((mtime, path))
+                        entries.append((mtime, int(stat.st_size), path))
                     elif ".tmp-" in path.name and now - mtime > max_tmp_age_s:
                         try:
                             path.unlink()
@@ -196,16 +226,41 @@ class ShardedResultCache:
                         except OSError:
                             pass
         # Newest first; ties broken by name so concurrent pruners agree.
-        entries.sort(key=lambda item: (-item[0], item[1].name))
+        entries.sort(key=lambda item: (-item[0], item[2].name))
+        doomed: List[Path] = []
+        survivors: List[Tuple[float, int, Path]] = []
+        removed_expired = 0
+        for mtime, size, path in entries:
+            if max_age_s is not None and now - mtime > max_age_s:
+                doomed.append(path)
+                removed_expired += 1
+            else:
+                survivors.append((mtime, size, path))
+        kept = 0
+        kept_bytes = 0
+        over_budget = False
+        for _, size, path in survivors:
+            if not over_budget and (
+                (max_entries is not None and kept + 1 > max_entries)
+                or (max_total_bytes is not None and kept_bytes + size > max_total_bytes)
+            ):
+                over_budget = True
+            if over_budget:
+                doomed.append(path)
+            else:
+                kept += 1
+                kept_bytes += size
         removed = 0
-        for _, path in entries[max_entries:]:
+        for path in doomed:
             try:
                 path.unlink()
                 removed += 1
             except OSError:
                 pass
         return {
-            "kept": len(entries) - removed,
+            "kept": kept,
+            "kept_bytes": kept_bytes,
             "removed": removed,
+            "removed_expired": removed_expired,
             "removed_tmp": removed_tmp,
         }

@@ -40,6 +40,22 @@ Coefficient access is routed through the backend returned by
 :meth:`repro.qubo.model.QUBOModel.operator` — dense float64 or CSR float32
 chosen automatically by density — so sparse instances (e.g. MVC) avoid dense
 ``n × n`` row traffic without any solver-side changes.
+
+Array backends
+--------------
+All kernels are written against an :class:`repro.compute.ArrayBackend` handle
+(``state.ab``) and its numpy-compatible namespace (``state.xp``) instead of
+the numpy module, so the same source runs on numpy, torch or CuPy arrays in
+float64 or float32.  On the reference backend (numpy/float64, the default)
+``xp`` *is* the numpy module and every conversion is a no-copy ``asarray``,
+so seeded trajectories are byte-for-byte what they were before the backend
+layer existed.  Random numbers are always drawn from the host numpy
+``Generator`` and shipped to the backend afterwards, which keeps the draw
+order — and therefore the trajectory, up to floating point — identical across
+backends.  Host setup code (state construction, block-size heuristics) stays
+plain numpy; only the kernel sections below are backend-polymorphic, and a
+lint test (``tests/test_compute_backend.py``) pins them free of bare ``np.``
+calls.
 """
 
 from __future__ import annotations
@@ -48,15 +64,17 @@ from typing import Optional
 
 import numpy as np
 
+from repro.compute.backend import ArrayBackend, resolve_array_backend
 from repro.qubo.model import QUBOModel
 from repro.utils.rng import ensure_rng
 
 
 def metropolis_accept(
-    delta: np.ndarray,
-    temperature: "float | np.ndarray",
-    uniforms: np.ndarray,
-) -> np.ndarray:
+    delta,
+    temperature,
+    uniforms,
+    ab: Optional[ArrayBackend] = None,
+):
     """Metropolis acceptance mask for proposed energy changes ``delta``.
 
     Downhill (``delta <= 0``) moves are always accepted; uphill moves are
@@ -67,22 +85,28 @@ def metropolis_accept(
     solvers) or a per-replica array of length ``delta.shape[0]`` (the
     parallel-tempering ladder, where every replica row owns its own fixed
     temperature).  Rows at temperature zero accept downhill moves only.
+
+    ``delta`` and ``uniforms`` live on ``ab`` (default: the ambient backend
+    from the environment knobs, which is plain numpy/float64 unless
+    overridden).
     """
+    ab = resolve_array_backend(ab)
+    xp = ab.xp
     accept = delta <= 0.0
-    temps = np.asarray(temperature, dtype=np.float64)
+    temps = xp.asarray(temperature, dtype=ab.dtype)
     if temps.ndim == 0:
         if temps > 0:
-            accept = accept | (uniforms < np.exp(-np.clip(delta, 0.0, None) / temps))
+            accept = accept | (uniforms < xp.exp(-xp.clip(delta, 0.0, None) / temps))
         return accept
-    if temps.shape != (delta.shape[0],):
+    if tuple(temps.shape) != (delta.shape[0],):
         raise ValueError(
             f"temperature array must have one entry per replica row "
-            f"({delta.shape[0]}), got shape {temps.shape}"
+            f"({delta.shape[0]}), got shape {tuple(temps.shape)}"
         )
     cols = temps.reshape(-1, *([1] * (delta.ndim - 1)))
     positive = cols > 0
-    safe = np.where(positive, cols, 1.0)
-    boltzmann = uniforms < np.exp(-np.clip(delta, 0.0, None) / safe)
+    safe = xp.where(positive, cols, xp.asarray(1.0, dtype=ab.dtype))
+    boltzmann = uniforms < xp.exp(-xp.clip(delta, 0.0, None) / safe)
     return accept | (boltzmann & positive)
 
 
@@ -153,11 +177,12 @@ class AdaptiveBlockSizer:
 
 
 def propose_ladder_swaps(
-    energies: np.ndarray,
-    betas: np.ndarray,
+    energies,
+    betas,
     offset: int,
-    uniforms: np.ndarray,
-) -> np.ndarray:
+    uniforms,
+    ab: Optional[ArrayBackend] = None,
+):
     """Metropolis accept mask for neighbour swaps on a temperature ladder.
 
     ``energies`` has shape ``(num_reads, num_replicas)`` — each read owns an
@@ -170,22 +195,34 @@ def propose_ladder_swaps(
     ``(num_reads, num_pairs)``; the comparison runs in log space so large
     positive arguments cannot overflow.  Returns the accept mask, shape
     ``(num_reads, num_pairs)``.
+
+    ``energies``/``betas``/``uniforms`` live on ``ab`` (default: the ambient
+    backend from the environment knobs).
     """
-    i = np.arange(offset, betas.size - 1, 2)
-    if i.size == 0:
-        return np.zeros((energies.shape[0], 0), dtype=bool)
+    ab = resolve_array_backend(ab)
+    xp = ab.xp
+    i = xp.arange(offset, betas.shape[0] - 1, 2)
+    if i.shape[0] == 0:
+        return xp.zeros((energies.shape[0], 0), dtype=xp.bool)
     j = i + 1
     log_ratio = (betas[i] - betas[j])[None, :] * (energies[:, i] - energies[:, j])
-    if uniforms.shape != log_ratio.shape:
+    if tuple(uniforms.shape) != tuple(log_ratio.shape):
         raise ValueError(
-            f"uniforms must have shape {log_ratio.shape}, got {uniforms.shape}"
+            f"uniforms must have shape {tuple(log_ratio.shape)}, "
+            f"got {tuple(uniforms.shape)}"
         )
-    with np.errstate(divide="ignore"):  # log(0) -> -inf accepts, as it should
-        return np.log(uniforms) < log_ratio
+    return ab.log_guarded(uniforms) < log_ratio
 
 
 class AnnealingState:
-    """Batched single-flip search state shared by the annealing solvers."""
+    """Batched single-flip search state shared by the annealing solvers.
+
+    ``array_backend`` selects where ``X``/``H``/energies live and which
+    namespace the kernels run on; ``None`` resolves the ambient backend
+    (environment knobs, defaulting to the numpy/float64 reference).  Initial
+    states are always drawn/validated on the host so the random stream is
+    backend-independent, then shipped once via ``ab.from_numpy``.
+    """
 
     def __init__(
         self,
@@ -194,12 +231,16 @@ class AnnealingState:
         rng: Optional[np.random.Generator] = None,
         initial_states: Optional[np.ndarray] = None,
         operator=None,
+        array_backend: Optional[ArrayBackend] = None,
     ) -> None:
         self.model = model
-        self.op = operator if operator is not None else model.operator()
+        self.ab = resolve_array_backend(array_backend)
+        self.xp = self.ab.xp
+        base_op = operator if operator is not None else model.operator()
+        self.op = self.ab.adapt_operator(base_op)
         n = model.num_variables
         if initial_states is not None:
-            X = np.array(initial_states, dtype=np.float64)
+            X = np.array(self.ab.to_numpy(initial_states), dtype=np.float64)
             if X.ndim == 1:
                 X = X[None, :]
             if X.shape != (num_reads, n):
@@ -209,13 +250,13 @@ class AnnealingState:
         else:
             rng = ensure_rng(rng)
             X = rng.integers(0, 2, size=(num_reads, n), dtype=np.int8).astype(np.float64)
-        self.X = X
-        self.H = self.op.right_multiply(X)
-        self.diag = np.asarray(self.op.diag, dtype=np.float64)
+        self.X = self.ab.from_numpy(X)
+        self.H = self.op.right_multiply(self.X)
+        self.diag = self.ab.asarray(base_op.diag)
         self.offset = model.offset
         self.current_energies = self.energies_from_fields()
-        self.best_X = X.copy()
-        self.best_energies = self.current_energies.copy()
+        self.best_X = self.ab.copy(self.X)
+        self.best_energies = self.ab.copy(self.current_energies)
 
     # ----------------------------------------------------------------- shapes
     @property
@@ -227,11 +268,11 @@ class AnnealingState:
         return int(self.X.shape[1])
 
     # ------------------------------------------------------------------ reads
-    def energies_from_fields(self) -> np.ndarray:
+    def energies_from_fields(self):
         """Exact batch energies ``sum_i x_i H_i + offset`` in ``O(R n)``."""
         return (self.X * self.H).sum(axis=1) + self.offset
 
-    def flip_deltas(self, cols: Optional[np.ndarray] = None) -> np.ndarray:
+    def flip_deltas(self, cols=None):
         """Single-flip energy changes, all variables or just ``cols``.
 
         Shape ``(R, n)`` without ``cols``, ``(R, len(cols))`` with.
@@ -247,12 +288,7 @@ class AnnealingState:
         return (1.0 - 2.0 * x) * (d + 2.0 * h - 2.0 * d * x)
 
     # --------------------------------------------------------------- mutators
-    def apply_single_flips(
-        self,
-        rows: np.ndarray,
-        cols: np.ndarray,
-        deltas: np.ndarray,
-    ) -> None:
+    def apply_single_flips(self, rows, cols, deltas) -> None:
         """Flip variable ``cols[k]`` of replica ``rows[k]`` for every ``k``.
 
         ``deltas`` must be the matching single-flip energy changes (as returned
@@ -263,21 +299,23 @@ class AnnealingState:
         self.current_energies[rows] += deltas
         self.H[rows] += dx[:, None] * self.op.rows(cols)
 
-    def apply_block_flips(self, block: np.ndarray, accept: np.ndarray) -> None:
+    def apply_block_flips(self, block, accept) -> None:
         """Apply the accepted flips of a variable block simultaneously.
 
-        ``block`` holds variable indices, ``accept`` a boolean mask of shape
-        ``(R, len(block))``.  All accepted flips are applied at once; the local
-        fields are updated exactly for the new states, but because interactions
-        *within* the block are not re-evaluated between flips this is an
-        approximation of sequential Metropolis — callers should refresh
+        ``block`` holds host variable indices, ``accept`` a boolean mask of
+        shape ``(R, len(block))``.  All accepted flips are applied at once; the
+        local fields are updated exactly for the new states, but because
+        interactions *within* the block are not re-evaluated between flips this
+        is an approximation of sequential Metropolis — callers should refresh
         ``current_energies`` via :meth:`refresh_energies` before reading them.
         """
-        if not accept.any():
+        if not self.xp.any(accept):
             return
-        active = accept.any(axis=0)
+        active = self.ab.to_numpy(self.xp.any(accept, axis=0))
         cols = block[active]
-        dX = np.where(accept[:, active], 1.0 - 2.0 * self.X[:, cols], 0.0)
+        dX = self.xp.where(
+            accept[:, active], 1.0 - 2.0 * self.X[:, cols], self.xp.asarray(0.0, dtype=self.ab.dtype)
+        )
         self.X[:, cols] += dX
         self.H += self.op.block_product(dX, cols)
 
@@ -285,13 +323,28 @@ class AnnealingState:
         """Recompute ``current_energies`` from the local fields."""
         self.current_energies = self.energies_from_fields()
 
-    def reset_replicas(self, mask: np.ndarray, new_states: np.ndarray) -> None:
-        """Replace the states of the replicas selected by boolean ``mask``."""
+    def reset_replicas(self, mask, new_states) -> None:
+        """Replace the states of the replicas selected by boolean ``mask``.
+
+        ``new_states`` must already live on this state's backend.
+        """
         self.X[mask] = new_states
         self.H[mask] = self.op.right_multiply(new_states)
         self.current_energies[mask] = (new_states * self.H[mask]).sum(axis=1) + self.offset
 
-    def update_best(self) -> np.ndarray:
+    def swap_rows(self, rows_i, rows_j) -> None:
+        """Exchange replica rows ``rows_i`` and ``rows_j`` of the live state.
+
+        Used by parallel tempering to realise accepted ladder swaps; ``best``
+        tracking is deliberately untouched (each replica slot keeps its own
+        best-visited record).
+        """
+        for arr in (self.X, self.H, self.current_energies):
+            tmp = self.ab.copy(arr[rows_i])
+            arr[rows_i] = arr[rows_j]
+            arr[rows_j] = tmp
+
+    def update_best(self):
         """Fold the current states into the per-replica best tracking.
 
         Returns the boolean mask of replicas that strictly improved.
@@ -301,3 +354,12 @@ class AnnealingState:
             self.best_energies[improved] = self.current_energies[improved]
             self.best_X[improved] = self.X[improved]
         return improved
+
+    # ---------------------------------------------------------------- readout
+    def best_states_host(self) -> np.ndarray:
+        """``best_X`` as a host numpy array (the solver read-out transfer)."""
+        return self.ab.to_numpy(self.best_X)
+
+    def best_energies_host(self) -> np.ndarray:
+        """``best_energies`` as a host numpy array."""
+        return self.ab.to_numpy(self.best_energies)

@@ -33,6 +33,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.compute.backend import resolve_array_backend, validate_engine_dtype
 from repro.qubo.model import QUBOModel
 from repro.solvers.base import QUBOSolver
 from repro.solvers.engine import (
@@ -70,6 +71,12 @@ class ParallelTemperingConfig:
         Record the batch-best energy after every sweep in the sample-set info
         (``best_energy_trajectory``) — the time-to-target instrumentation used
         by ``benchmarks/bench_pt.py``.  Never changes the random stream.
+    array_backend:
+        Array backend the sweep/swap kernels run on (``None`` = environment /
+        numpy reference).
+    dtype:
+        Engine float precision (``"float64"`` / ``"float32"``; ``None`` =
+        environment / float64).
     """
 
     num_sweeps: int = 100
@@ -79,6 +86,8 @@ class ParallelTemperingConfig:
     t_cold: Optional[float] = None
     block_size: Optional[int] = None
     track_trajectory: bool = False
+    array_backend: Optional[str] = None
+    dtype: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.num_sweeps <= 0:
@@ -95,6 +104,7 @@ class ParallelTemperingConfig:
             raise ValueError("t_cold must not exceed t_hot")
         if self.block_size is not None and self.block_size <= 0:
             raise ValueError("block_size must be positive")
+        validate_engine_dtype(self.dtype)
 
 
 class ParallelTemperingSolver(QUBOSolver):
@@ -134,24 +144,25 @@ class ParallelTemperingSolver(QUBOSolver):
         n = model.num_variables
         m = cfg.num_replicas
         ladder = self._ladder(model)
+        ab = resolve_array_backend(cfg.array_backend, cfg.dtype)
         # Row r runs at the fixed temperature of rung r % m.
-        row_temps = np.tile(ladder, num_reads)
-        betas = 1.0 / ladder
+        row_temps = ab.from_numpy(np.tile(ladder, num_reads))
+        betas = ab.from_numpy(1.0 / ladder)
         block = cfg.block_size or default_block_size(n)
 
-        state = AnnealingState(model, num_reads * m, rng=rng)
+        state = AnnealingState(model, num_reads * m, rng=rng, array_backend=ab)
         read_base = np.arange(num_reads)[:, None] * m
 
         swaps_proposed = swaps_accepted = 0
         trajectory = [] if cfg.track_trajectory else None
         for sweep in range(cfg.num_sweeps):
             order = rng.permutation(n)
-            uniforms = rng.random((num_reads * m, n))
+            uniforms = ab.from_numpy(rng.random((num_reads * m, n)))
             for start in range(0, n, block):
                 cols = order[start : start + block]
                 delta = state.flip_deltas(cols)
                 accept = metropolis_accept(
-                    delta, row_temps, uniforms[:, start : start + cols.size]
+                    delta, row_temps, uniforms[:, start : start + cols.size], ab=ab
                 )
                 state.apply_block_flips(cols, accept)
             state.refresh_energies()
@@ -162,25 +173,22 @@ class ParallelTemperingSolver(QUBOSolver):
                 rungs = np.arange(offset, m - 1, 2)
                 energies = state.current_energies.reshape(num_reads, m)
                 accept = propose_ladder_swaps(
-                    energies, betas, offset, rng.random((num_reads, rungs.size))
+                    energies, betas, offset, ab.from_numpy(rng.random((num_reads, rungs.size))), ab=ab
                 )
+                accept = ab.to_numpy(accept)
                 swaps_proposed += accept.size
                 swaps_accepted += int(accept.sum())
                 if accept.any():
                     reads, pairs = np.nonzero(accept)
                     rows_i = (read_base[reads, 0] + rungs[pairs]).ravel()
-                    rows_j = rows_i + 1
-                    for arr in (state.X, state.H, state.current_energies):
-                        tmp = arr[rows_i].copy()
-                        arr[rows_i] = arr[rows_j]
-                        arr[rows_j] = tmp
+                    state.swap_rows(rows_i, rows_i + 1)
             if trajectory is not None:
                 trajectory.append(float(state.best_energies.min()))
 
         # Per read: the best state any of its rungs ever visited.
-        best_energies = state.best_energies.reshape(num_reads, m)
+        best_energies = state.best_energies_host().reshape(num_reads, m)
         winner = best_energies.argmin(axis=1)
-        assignments = state.best_X.reshape(num_reads, m, n)[np.arange(num_reads), winner]
+        assignments = state.best_states_host().reshape(num_reads, m, n)[np.arange(num_reads), winner]
         info = {
             "num_sweeps": cfg.num_sweeps,
             "num_replicas": m,

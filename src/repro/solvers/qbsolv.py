@@ -22,11 +22,12 @@ independent of thread scheduling.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Optional
 
 import numpy as np
 
+from repro.compute.backend import validate_engine_dtype
 from repro.qubo.model import QUBOModel
 from repro.solvers.base import QUBOSolver
 from repro.solvers.tabu import TabuSearchConfig, TabuSearchSolver
@@ -47,6 +48,10 @@ class QbsolvConfig:
         Independent random restarts per read; the best result is returned.
     subsolver_config:
         Tabu-search configuration used for each sub-problem.
+    array_backend / dtype:
+        Array backend and float precision forwarded to the tabu sub-solver
+        (unless the ``subsolver_config`` pins its own).  The decomposition
+        loop itself is host control flow and stays numpy.
     """
 
     subproblem_size: int = 48
@@ -55,6 +60,8 @@ class QbsolvConfig:
     subsolver_config: TabuSearchConfig = field(
         default_factory=lambda: TabuSearchConfig(num_steps=200, restart_after=60)
     )
+    array_backend: Optional[str] = None
+    dtype: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.subproblem_size <= 1:
@@ -63,6 +70,7 @@ class QbsolvConfig:
             raise ValueError("max_rounds must be positive")
         if self.num_restarts <= 0:
             raise ValueError("num_restarts must be positive")
+        validate_engine_dtype(self.dtype)
 
 
 class QbsolvSolver(QUBOSolver):
@@ -72,7 +80,16 @@ class QbsolvSolver(QUBOSolver):
 
     def __init__(self, config: QbsolvConfig | None = None) -> None:
         self.config = config or QbsolvConfig()
-        self._subsolver = TabuSearchSolver(self.config.subsolver_config)
+        sub = self.config.subsolver_config
+        if (self.config.array_backend is not None and sub.array_backend is None) or (
+            self.config.dtype is not None and sub.dtype is None
+        ):
+            sub = replace(
+                sub,
+                array_backend=sub.array_backend or self.config.array_backend,
+                dtype=sub.dtype or self.config.dtype,
+            )
+        self._subsolver = TabuSearchSolver(sub)
 
     def _sample(
         self, model: QUBOModel, num_reads: int, rng: np.random.Generator

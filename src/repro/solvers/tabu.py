@@ -21,6 +21,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.compute.backend import resolve_array_backend, validate_engine_dtype
 from repro.qubo.model import QUBOModel
 from repro.solvers.base import QUBOSolver
 from repro.solvers.engine import AnnealingState
@@ -40,11 +41,20 @@ class TabuSearchConfig:
         ``min(20, n // 4 + 1)``.
     restart_after:
         Steps without incumbent improvement before a perturbation restart.
+    array_backend:
+        Array backend the batched search runs on (``None`` = environment /
+        numpy reference).  The scalar fast path (``num_reads == 1``) is used
+        only on numpy-family backends; other backends take the batch kernel.
+    dtype:
+        Engine float precision (``"float64"`` / ``"float32"``; ``None`` =
+        environment / float64).
     """
 
     num_steps: int = 500
     tenure: int | None = None
     restart_after: int = 100
+    array_backend: str | None = None
+    dtype: str | None = None
 
     def __post_init__(self) -> None:
         if self.num_steps <= 0:
@@ -53,6 +63,7 @@ class TabuSearchConfig:
             raise ValueError("tenure must be non-negative")
         if self.restart_after <= 0:
             raise ValueError("restart_after must be positive")
+        validate_engine_dtype(self.dtype)
 
 
 class TabuSearchSolver(QUBOSolver):
@@ -66,16 +77,18 @@ class TabuSearchSolver(QUBOSolver):
     def _sample(
         self, model: QUBOModel, num_reads: int, rng: np.random.Generator
     ) -> tuple[np.ndarray, Optional[dict]]:
-        state = AnnealingState(model, num_reads, rng=rng)
+        ab = resolve_array_backend(self.config.array_backend, self.config.dtype)
+        state = AnnealingState(model, num_reads, rng=rng, array_backend=ab)
         self._search(state, rng)
-        return state.best_X, None
+        return state.best_states_host(), None
 
     # ------------------------------------------------------------------ internals
     def _search(self, state: AnnealingState, rng: np.random.Generator) -> None:
-        if state.num_reads == 1:
+        if state.num_reads == 1 and state.ab.kind == "numpy":
             # The qbsolv decomposer refines thousands of tiny single-replica
             # sub-problems; the scalar kernel avoids the 2-D indexing overhead
-            # that dominates batched steps at num_reads == 1.
+            # that dominates batched steps at num_reads == 1.  (Device backends
+            # take the batch kernel — the scalar path mutates host views.)
             self._search_single(state, rng)
         else:
             self._search_batch(state, rng)
@@ -130,9 +143,11 @@ class TabuSearchSolver(QUBOSolver):
         n = state.num_variables
         num_reads = state.num_reads
         tenure = self.config.tenure if self.config.tenure is not None else min(20, n // 4 + 1)
+        ab = state.ab
+        xp = state.xp
 
-        tabu_until = np.full((num_reads, n), -1, dtype=np.int64)
-        stall = np.zeros(num_reads, dtype=np.int64)
+        tabu_until = xp.full((num_reads, n), -1, dtype=xp.int64)
+        stall = xp.zeros(num_reads, dtype=xp.int64)
         replica_rows = np.arange(num_reads)
 
         for step in range(self.config.num_steps):
@@ -140,28 +155,31 @@ class TabuSearchSolver(QUBOSolver):
             allowed = tabu_until < step
             # Aspiration: a tabu move that beats the incumbent is always allowed.
             allowed |= (state.current_energies[:, None] + delta) < state.best_energies[:, None]
-            blocked = ~allowed.any(axis=1)
+            blocked = ~xp.any(allowed, axis=1)
             if blocked.any():
                 allowed[blocked] = True
-            candidate_delta = np.where(allowed, delta, np.inf)
-            cols = candidate_delta.argmin(axis=1)
+            candidate_delta = xp.where(allowed, delta, xp.asarray(xp.inf, dtype=ab.dtype))
+            cols = ab.to_numpy(xp.argmin(candidate_delta, axis=1))
 
             state.apply_single_flips(replica_rows, cols, delta[replica_rows, cols])
             tabu_until[replica_rows, cols] = step + tenure
 
             improved = state.current_energies < state.best_energies - 1e-12
             state.update_best()
-            stall = np.where(improved, 0, stall + 1)
+            stall = xp.where(improved, 0, stall + 1)
 
             restart = stall >= self.config.restart_after
             if restart.any():
-                num_restarts = int(restart.sum())
-                perturbed = state.best_X[restart].copy()
+                restart_host = ab.to_numpy(restart)
+                num_restarts = int(restart_host.sum())
+                perturbed = np.array(
+                    ab.to_numpy(state.best_X[restart]), dtype=np.float64
+                )
                 num_flips = max(1, n // 10)
                 flip_cols = rng.random((num_restarts, n)).argsort(axis=1)[:, :num_flips]
                 flip_rows = np.arange(num_restarts)[:, None]
                 perturbed[flip_rows, flip_cols] = 1.0 - perturbed[flip_rows, flip_cols]
-                state.reset_replicas(restart, perturbed)
+                state.reset_replicas(restart, ab.from_numpy(perturbed))
                 tabu_until[restart] = -1
                 stall[restart] = 0
 
@@ -169,6 +187,7 @@ class TabuSearchSolver(QUBOSolver):
         """Run tabu search starting from an existing assignment (used by qbsolv)."""
         rng = ensure_rng(rng)
         x0 = np.asarray(x0, dtype=np.float64)
-        state = AnnealingState(model, 1, initial_states=x0[None, :])
+        ab = resolve_array_backend(self.config.array_backend, self.config.dtype)
+        state = AnnealingState(model, 1, initial_states=x0[None, :], array_backend=ab)
         self._search(state, rng)
-        return state.best_X[0].astype(np.int8)
+        return state.best_states_host()[0].astype(np.int8)

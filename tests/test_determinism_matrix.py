@@ -18,6 +18,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.compute import available_array_backends
 from repro.qubo.model import random_qubo
 from repro.service import (
     ProcessPoolBackend,
@@ -95,3 +96,87 @@ def test_matrix_covers_every_registered_backend():
     without it entering the matrix."""
     covered = {spec.partition("?")[0] for spec in matrix_specs()}
     assert covered == set(SolverRegistry.default().names())
+
+
+# --------------------------------------------------------------------------
+# Array-backend × dtype axis.
+#
+# Engine-capable specs are discovered from the registry (any backend whose
+# config exposes ``array_backend``), and the backend axis from the compute
+# registry (:func:`available_array_backends`), so a future torch/CuPy install
+# or a plugin backend auto-enrolls here without test edits.  Contract tiers:
+#
+# * numpy/float64 — the reference: byte-identical to the spec with no
+#   backend options at all (the PR-5 thread/process matrix above then extends
+#   that guarantee across execution backends).
+# * anything else (float32, torch, cupy, ...) — deterministic under a fixed
+#   seed (run-twice byte-parity), valid binary assignments, and best-energy
+#   agreement with the reference within a tolerance: trajectories may diverge
+#   at acceptance boundaries, but on a 12-variable model every solver finds
+#   the same near-optimal basin.
+# --------------------------------------------------------------------------
+
+
+def engine_specs() -> list:
+    registry = SolverRegistry.default()
+    specs = []
+    for name in registry.names():
+        if "array_backend" not in registry.backend(name).option_names():
+            continue
+        options = LIGHT_OPTIONS.get(name)
+        specs.append(f"{name}?{options}" if options else name)
+    return specs
+
+
+def backend_axis() -> list:
+    return [
+        (kind, dtype)
+        for kind in available_array_backends()
+        for dtype in ("float64", "float32")
+    ]
+
+
+def _axis_spec(spec: str, kind: str, dtype: str) -> str:
+    sep = "&" if "?" in spec else "?"
+    return f"{spec}{sep}array_backend={kind}&dtype={dtype}"
+
+
+@pytest.mark.parametrize("kind,dtype", backend_axis())
+@pytest.mark.parametrize("spec", engine_specs())
+def test_array_backend_axis(spec, kind, dtype, model):
+    axis_spec = _axis_spec(spec, kind, dtype)
+    solver = make_solver(axis_spec)
+    seed = 11
+
+    first = solver.sample(model, num_reads=4, rng=np.random.default_rng(seed))
+    again = solver.sample(model, num_reads=4, rng=np.random.default_rng(seed))
+    assert np.array_equal(first.assignments, again.assignments), (
+        f"{axis_spec!r} is not deterministic under a fixed seed"
+    )
+
+    assert first.assignments.dtype == np.int8
+    assert set(np.unique(first.assignments)) <= {0, 1}
+
+    reference = make_solver(spec).sample(model, num_reads=4, rng=np.random.default_rng(seed))
+    if kind == "numpy" and dtype == "float64":
+        # The reference backend resolves to the exact pre-backend-layer code
+        # path: adding the options must change nothing, byte for byte.
+        assert np.array_equal(first.assignments, reference.assignments), (
+            f"{axis_spec!r} broke byte-identity with plain {spec!r}"
+        )
+        assert np.array_equal(first.energies, reference.energies)
+    else:
+        # Tolerance tier: energies are always re-scored against the exact
+        # float64 model, so comparing bests needs no dtype-aware epsilon —
+        # only the search trajectory may differ, and on this 12-variable
+        # model all trajectories land within a loose absolute band.
+        scale = max(1.0, abs(float(reference.energies.min())))
+        assert float(first.energies.min()) <= float(reference.energies.min()) + 0.5 * scale, (
+            f"{axis_spec!r} best energy {first.energies.min()} is far worse "
+            f"than the reference {reference.energies.min()}"
+        )
+
+
+def test_backend_axis_includes_the_reference():
+    assert ("numpy", "float64") in backend_axis()
+    assert ("numpy", "float32") in backend_axis()

@@ -501,7 +501,8 @@ class TestShardedCachePrune:
         keys = [f"k{i}" for i in range(6)]
         self._fill(store, keys)
         stats = store.prune(max_entries=2)
-        assert stats == {"kept": 2, "removed": 4, "removed_tmp": 0}
+        assert (stats["kept"], stats["removed"], stats["removed_tmp"]) == (2, 4, 0)
+        assert stats["kept_bytes"] > 0 and stats["removed_expired"] == 0
         assert store.entry_counts() == {"samples": 0, "evaluations": 2}
         # The two newest survive; everything older reads as a miss.
         assert store.lookup_evaluation("k5") is not None
@@ -530,6 +531,64 @@ class TestShardedCachePrune:
         with pytest.raises(ValueError, match="non-negative"):
             ShardedResultCache(tmp_path / "cache").prune(max_entries=-1)
 
+    def test_prune_requires_at_least_one_criterion(self, tmp_path):
+        with pytest.raises(ValueError, match="at least one criterion"):
+            ShardedResultCache(tmp_path / "cache").prune()
+
+    def test_prune_byte_budget_keeps_a_newest_prefix(self, tmp_path):
+        store = ShardedResultCache(tmp_path / "cache")
+        keys = [f"k{i}" for i in range(6)]
+        self._fill(store, keys)
+        sizes = {
+            key: store._entry_path(key, ".eval.json").stat().st_size for key in keys
+        }
+        # Budget for exactly the two newest entries, not a third.
+        budget = sizes["k5"] + sizes["k4"]
+        stats = store.prune(max_total_bytes=budget)
+        assert stats["kept"] == 2
+        assert stats["kept_bytes"] == budget
+        assert stats["removed"] == 4
+        assert store.lookup_evaluation("k5") is not None
+        assert store.lookup_evaluation("k4") is not None
+        assert store.lookup_evaluation("k3") is None
+
+    def test_prune_byte_budget_cut_is_strict_recency(self, tmp_path, model):
+        # A large new entry exhausts the byte budget; a small older entry that
+        # *would* still fit must NOT be kept — the survivors are always a
+        # newest-prefix, so concurrent pruners agree on the kept set.
+        store = ShardedResultCache(tmp_path / "cache")
+        solver = make_solver("sa?num_sweeps=5")
+        store.store_samples("big", solver.sample(model, 2, rng=np.random.default_rng(0)))
+        os.utime(store._entry_path("big", ".samples"), (1_000_000_009, 1_000_000_009))
+        self._fill(store, ["small"])  # older and tiny
+        big_size = store._entry_path("big", ".samples").stat().st_size
+        stats = store.prune(max_total_bytes=big_size)
+        assert stats["kept"] == 1 and stats["kept_bytes"] == big_size
+        assert store.lookup_samples("big") is not None
+        assert store.lookup_evaluation("small") is None
+
+    def test_prune_age_ttl_expires_old_entries(self, tmp_path):
+        store = ShardedResultCache(tmp_path / "cache")
+        self._fill(store, ["ancient", "old"])  # mtimes ~2001
+        store.store_evaluation("fresh", CachedEvaluation(1.0, 0.0, 0.0, None))
+        stats = store.prune(max_age_s=3600.0)
+        assert stats["removed_expired"] == 2
+        assert stats["removed"] == 2
+        assert stats["kept"] == 1
+        assert store.lookup_evaluation("fresh") is not None
+        assert store.lookup_evaluation("old") is None
+
+    def test_prune_ttl_composes_with_entry_budget(self, tmp_path):
+        store = ShardedResultCache(tmp_path / "cache")
+        self._fill(store, ["stale0", "stale1"])  # expired by TTL
+        for key in ("new0", "new1", "new2"):
+            store.store_evaluation(key, CachedEvaluation(1.0, 0.0, 0.0, None))
+        stats = store.prune(max_entries=2, max_age_s=3600.0)
+        assert stats["removed_expired"] == 2
+        assert stats["kept"] == 2
+        assert stats["removed"] == 3  # 2 expired + 1 over the entry budget
+        assert store.entry_counts() == {"samples": 0, "evaluations": 2}
+
     def test_prune_removes_only_stale_temp_files(self, tmp_path):
         store = ShardedResultCache(tmp_path / "cache")
         self._fill(store, ["a"])
@@ -550,7 +609,7 @@ class TestShardedCachePrune:
         corrupt.write_bytes(b"\x00garbage")
         os.utime(corrupt, (999_999_000, 999_999_000))
         stats = store.prune(max_entries=1)
-        assert stats == {"kept": 1, "removed": 2, "removed_tmp": 0}
+        assert (stats["kept"], stats["removed"], stats["removed_tmp"]) == (1, 2, 0)
         assert not corrupt.exists()
         assert store.lookup_evaluation("new") is not None
 

@@ -5,6 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.compute import resolve_array_backend
 from repro.problems.mvc.generator import RandomMVCConfig, generate_mvc_instance
 from repro.problems.mvc.qubo import MVCProblem
 from repro.problems.tsp.generator import generate_instance
@@ -64,19 +65,33 @@ class TestOperatorSelection:
         )
 
 
+def _state_tols() -> dict:
+    """Exactness tolerances for engine-state invariants under the ambient
+    engine dtype: float64 states track the model to round-off; under the
+    ``QROSS_ENGINE_DTYPE=float32`` CI canary the same invariants hold at
+    single precision."""
+    if resolve_array_backend().dtype_name == "float32":
+        return {"rtol": 1e-4, "atol": 1e-3}
+    return {"rtol": 1e-9, "atol": 1e-9}
+
+
 class TestAnnealingState:
     def test_initial_energies_match_model(self):
         model = random_qubo(20, rng=1)
         state = AnnealingState(model, 5, rng=np.random.default_rng(0))
-        np.testing.assert_allclose(state.current_energies, model.energies(state.X), rtol=1e-12)
+        np.testing.assert_allclose(
+            state.current_energies, model.energies(state.X), **_state_tols()
+        )
 
     def test_flip_deltas_match_local_fields(self):
         model = random_qubo(15, rng=2)
         state = AnnealingState(model, 4, rng=np.random.default_rng(3))
-        np.testing.assert_allclose(state.flip_deltas(), model.local_fields(state.X), rtol=1e-12)
+        np.testing.assert_allclose(
+            state.flip_deltas(), model.local_fields(state.X), **_state_tols()
+        )
         cols = np.array([0, 7, 14])
         np.testing.assert_allclose(
-            state.flip_deltas(cols), model.local_fields(state.X)[:, cols], rtol=1e-12
+            state.flip_deltas(cols), model.local_fields(state.X)[:, cols], **_state_tols()
         )
 
     def test_single_flips_keep_state_exact(self):
@@ -88,8 +103,10 @@ class TestAnnealingState:
             rows = np.arange(3)
             delta = state.flip_deltas()[rows, cols]
             state.apply_single_flips(rows, cols, delta)
-        np.testing.assert_allclose(state.H, state.X @ np.asarray(model.Q), rtol=1e-9, atol=1e-9)
-        np.testing.assert_allclose(state.current_energies, model.energies(state.X), rtol=1e-9)
+        np.testing.assert_allclose(state.H, state.X @ np.asarray(model.Q), **_state_tols())
+        np.testing.assert_allclose(
+            state.current_energies, model.energies(state.X), **_state_tols()
+        )
 
     def test_block_flips_keep_fields_exact(self):
         model = random_qubo(18, rng=6)
@@ -99,8 +116,10 @@ class TestAnnealingState:
         accept = rng.random((4, 4)) < 0.5
         state.apply_block_flips(block, accept)
         state.refresh_energies()
-        np.testing.assert_allclose(state.H, state.X @ np.asarray(model.Q), rtol=1e-9, atol=1e-9)
-        np.testing.assert_allclose(state.current_energies, model.energies(state.X), rtol=1e-9)
+        np.testing.assert_allclose(state.H, state.X @ np.asarray(model.Q), **_state_tols())
+        np.testing.assert_allclose(
+            state.current_energies, model.energies(state.X), **_state_tols()
+        )
 
     def test_sparse_backend_matches_dense_trajectory(self):
         model = random_qubo(30, density=0.2, rng=8)
@@ -116,7 +135,9 @@ class TestAnnealingState:
         mask = np.array([True, False, True, False])
         new_states = np.random.default_rng(5).integers(0, 2, size=(2, 10)).astype(np.float64)
         state.reset_replicas(mask, new_states)
-        np.testing.assert_allclose(state.current_energies, model.energies(state.X), rtol=1e-12)
+        np.testing.assert_allclose(
+            state.current_energies, model.energies(state.X), **_state_tols()
+        )
 
     def test_update_best_tracks_minimum(self):
         model = QUBOModel(np.diag([-1.0, 2.0]))
