@@ -50,9 +50,12 @@ def solver_spec(profile: ExperimentProfile, backend: str) -> str:
     """Registry spec string of the profile-sized solver for ``backend``.
 
     The spec form is what crosses process boundaries: the distributed
-    execution backends ship it to their workers, which re-resolve a solver
-    with the identical config fingerprint.  Handy for configuring remote /
-    multiprocess runs from a profile without shipping solver objects.
+    execution backends ship it to their workers — the process pool's spawned
+    interpreters and the remote TCP fleet (``QROSS_EXECUTION_BACKEND=remote``
+    with ``QROSS_REMOTE_WORKERS=host:port,...``) alike — which re-resolve a
+    solver with the identical config fingerprint.  Handy for configuring
+    remote / multiprocess runs from a profile without shipping solver
+    objects.
     """
     return SolverRegistry.default().spec_for(make_solver(profile, backend))
 

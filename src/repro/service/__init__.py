@@ -16,6 +16,11 @@ or, for batched / asynchronous workloads:
 ...     ])
 """
 
+from repro.service.admission import (
+    MAX_PENDING_ENV,
+    AdmissionGate,
+    ServiceOverloaded,
+)
 from repro.service.cache import CachedEvaluation, SolverCallCache
 from repro.service.distributed import (
     EXECUTION_BACKEND_ENV,
@@ -42,6 +47,9 @@ from repro.service.requests import SolveRequest, SolveResult
 from repro.service.service import SolveService, default_service, solve
 
 __all__ = [
+    "AdmissionGate",
+    "MAX_PENDING_ENV",
+    "ServiceOverloaded",
     "CachedEvaluation",
     "SolverCallCache",
     "SolverRegistry",

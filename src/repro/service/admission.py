@@ -1,0 +1,118 @@
+"""Admission control: bounded pending-work accounting with load-shed.
+
+Production ingest is bursty; a queue with no depth limit converts a traffic
+spike into unbounded memory growth and unbounded latency for everything behind
+it.  The :class:`AdmissionGate` is the one shared primitive: a counter of
+admitted-but-not-finished units of work with a hard bound, raising the typed
+:class:`ServiceOverloaded` instead of queueing when the bound is hit.  Both
+sides of the remote solve farm use it — the local
+:class:`~repro.service.service.SolveService` bounds its request pool
+(``max_pending`` / the ``QROSS_MAX_PENDING`` environment variable) and each
+:class:`~repro.service.remote.worker.WorkerServer` bounds the engine calls it
+accepts beyond its concurrency cap — so callers see one error type and one
+counter vocabulary (admitted / pending / shed / completed) at every layer.
+
+Shedding is deliberately an *error*, not a silent drop: the caller decides
+whether to retry (the :class:`~repro.service.remote.backend.RemoteBackend`
+client retries sheds on another worker with backoff), queue client-side, or
+surface the overload.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import Dict, Optional
+
+#: Environment variable bounding the default :class:`SolveService` queue depth
+#: (unset = unbounded, preserving the historical behaviour).
+MAX_PENDING_ENV = "QROSS_MAX_PENDING"
+
+
+class ServiceOverloaded(RuntimeError):
+    """The bounded admission queue is full; the work unit was shed, not queued.
+
+    Raised by :meth:`SolveService.submit` (and everything built on it) when
+    ``max_pending`` requests are already in flight, and by the remote client
+    when the worker fleet answered ``overloaded`` beyond its retry budget.
+    The request had no side effects — it is safe to retry later.
+    """
+
+
+class AdmissionGate:
+    """Thread-safe bounded counter of in-flight work units.
+
+    ``max_pending=None`` disables the bound (every acquire succeeds) but still
+    counts traffic, so :meth:`stats` stays meaningful on unbounded services.
+    """
+
+    def __init__(self, max_pending: Optional[int] = None, name: str = "service") -> None:
+        if max_pending is not None and max_pending <= 0:
+            raise ValueError(f"max_pending must be positive or None, got {max_pending}")
+        self.max_pending = max_pending
+        self.name = name
+        self._lock = threading.Lock()
+        self._pending = 0
+        self._peak_pending = 0
+        self._admitted = 0
+        self._shed = 0
+
+    # ---------------------------------------------------------------- admission
+    def try_acquire(self) -> bool:
+        """Admit one unit of work; ``False`` (and a counted shed) when full."""
+        with self._lock:
+            if self.max_pending is not None and self._pending >= self.max_pending:
+                self._shed += 1
+                return False
+            self._pending += 1
+            self._admitted += 1
+            if self._pending > self._peak_pending:
+                self._peak_pending = self._pending
+            return True
+
+    def acquire(self) -> None:
+        """Admit one unit of work or raise :class:`ServiceOverloaded`."""
+        if not self.try_acquire():
+            raise ServiceOverloaded(
+                f"{self.name} is at its pending-work bound "
+                f"(max_pending={self.max_pending}); request shed, not queued"
+            )
+
+    def release(self) -> None:
+        """Mark one admitted unit finished (success or failure alike)."""
+        with self._lock:
+            if self._pending <= 0:
+                raise RuntimeError(f"{self.name}: release() without a matching acquire()")
+            self._pending -= 1
+
+    # ------------------------------------------------------------------ readouts
+    @property
+    def pending(self) -> int:
+        with self._lock:
+            return self._pending
+
+    def stats(self) -> Dict[str, Optional[int]]:
+        """Counter snapshot: admitted / completed / pending / peak / shed."""
+        with self._lock:
+            return {
+                "max_pending": self.max_pending,
+                "admitted": self._admitted,
+                "completed": self._admitted - self._pending,
+                "pending": self._pending,
+                "peak_pending": self._peak_pending,
+                "shed": self._shed,
+            }
+
+
+def max_pending_from_env() -> Optional[int]:
+    """The ``QROSS_MAX_PENDING`` bound, or ``None`` when unset/empty."""
+    raw = os.environ.get(MAX_PENDING_ENV)
+    if raw is None or not raw.strip():
+        return None
+    try:
+        value = int(raw)
+    except ValueError as exc:
+        raise ValueError(f"{MAX_PENDING_ENV} must be an integer, got {raw!r}") from exc
+    if value <= 0:
+        raise ValueError(f"{MAX_PENDING_ENV} must be positive, got {value}")
+    return value

@@ -15,12 +15,19 @@ Three pieces, layered so each is useful on its own:
   fingerprint-sharded result store :class:`~repro.service.cache.SolverCallCache`
   tiers onto, giving repeated ``(model, solver, seed)`` calls cache hits
   across processes and across runs.
+
+The TCP solve farm in :mod:`repro.service.remote` builds on the first two
+layers: its workers execute the same engine-call frames through
+:class:`~repro.service.distributed.backends.EngineCallRunner`, and its client
+is a third :class:`ExecutionBackend` (``"remote"``).
 """
 
 from repro.service.distributed.backends import (
     EXECUTION_BACKEND_ENV,
+    EngineCallRunner,
     ExecutionBackend,
     ProcessPoolBackend,
+    SolverSpecCache,
     ThreadExecutionBackend,
     resolve_backend,
     shared_backend,
@@ -42,7 +49,9 @@ from repro.service.distributed.wire import (
 
 __all__ = [
     "EXECUTION_BACKEND_ENV",
+    "EngineCallRunner",
     "ExecutionBackend",
+    "SolverSpecCache",
     "ThreadExecutionBackend",
     "ProcessPoolBackend",
     "resolve_backend",

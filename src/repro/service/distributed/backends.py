@@ -22,11 +22,18 @@ spec reproduces the parent solver's config fingerprint); solvers whose config
 cannot be spec-serialised fall back to in-process execution — transparently,
 because the seed discipline makes both paths produce the same samples.
 
+A third backend lives in :mod:`repro.service.remote`:
+:class:`~repro.service.remote.backend.RemoteBackend` ships the same frames
+over TCP to a fleet of standalone worker servers on other machines (or other
+containers), with load balancing, retries and admission control.
+
 Backends are selected per service via ``SolveService(backend=...)`` or
 globally via the ``QROSS_EXECUTION_BACKEND`` environment variable
-(``thread`` — the default — or ``process``, optionally with options such as
-``process?max_workers=4``).  Backends resolved from specs are *shared*
-process-wide so that many short-lived services reuse one worker pool.
+(``thread`` — the default —, ``process`` or ``remote``, optionally with
+options such as ``process?max_workers=4`` or
+``remote?workers=10.0.0.5:7070,10.0.0.6:7070``).  Backends resolved from
+specs are *shared* process-wide so that many short-lived services reuse one
+worker pool.
 """
 
 from __future__ import annotations
@@ -133,11 +140,10 @@ class ThreadExecutionBackend(ExecutionBackend):
 # submission time.  The worker receives wire frames (bytes), never live
 # objects.
 
-#: Solvers memoised per worker, keyed by spec — an LRU like the model memo
-#: below, just with a looser bound (config dataclasses are tiny; the bound
+#: Bound on solvers memoised per worker, keyed by spec — an LRU like the model
+#: memo, just with a looser bound (config dataclasses are tiny; the bound
 #: exists so a grid sweeping thousands of distinct specs cannot grow a
 #: worker's memory without limit).
-_WORKER_SOLVERS: "OrderedDict[str, QUBOSolver]" = OrderedDict()
 _WORKER_SOLVER_LIMIT = 64
 
 _spawn_names: Optional[frozenset] = None
@@ -169,56 +175,151 @@ def _process_worker_init(env_overrides: Optional[Dict[str, str]] = None) -> None
         os.environ.update({str(k): str(v) for k, v in env_overrides.items()})
 
 
-#: Decoded models memoised per worker, keyed by fingerprint — an LRU, so a
-#: working set cycling within the bound always hits.  The bound is small
+#: Bound on decoded models memoised per worker, keyed by fingerprint — an LRU,
+#: so a working set cycling within the bound always hits.  The bound is small
 #: because entries can be large (a dense n x n float64 each); a sweep
 #: typically cycles over one or two models, and an evicted model is simply
 #: re-shipped on its next by-reference miss.  The parent mirrors this bound
 #: (:attr:`ProcessPoolBackend._shipped_models`), so working sets larger than
 #: the memo fall back to always-full payloads instead of paying a guaranteed
 #: ref-miss round trip per call.
-_WORKER_MODELS: "OrderedDict[str, QUBOModel]" = OrderedDict()
 _WORKER_MODEL_LIMIT = 8
 
 
-def _execute_engine_call(payload: bytes) -> bytes:
-    """Decode one engine-call frame, run it, return the sample-set frame.
+class EngineCallRunner:
+    """Worker-side execution of engine-call frames (frame in, frame out).
 
-    The solver is re-resolved from its registry spec (memoised per worker —
-    config dataclasses are cheap, but the registry round-trip validation is
-    not free) and the stream is ``default_rng(seed)``, matching the thread
-    backend bit for bit.  Calls may reference a previously-shipped model by
-    fingerprint; a worker that does not hold it answers ``model_miss`` and
-    the parent retries with the full payload.
+    This is the one piece of logic every kind of worker shares — pool
+    processes and remote TCP workers alike: decode an engine-call frame,
+    re-resolve the solver from its registry spec (memoised — config
+    dataclasses are cheap, but the registry round-trip validation is not
+    free), run it under ``default_rng(seed)`` so results match the thread
+    backend bit for bit, and encode the sample set.  Calls may reference a
+    previously-shipped model by fingerprint; a runner that does not hold it
+    answers ``model_miss`` and the caller retries with the full payload.
+
+    Memoisation is guarded by a lock (remote workers execute calls from
+    several connection threads at once); the engine call itself runs outside
+    the lock, so concurrent solves proceed in parallel.
     """
-    from repro.service.distributed import wire
-    from repro.service.registry import make_solver
 
-    _, header, buffers = wire.decode_frame(payload, expected_kind="engine_call")
-    solver_spec = str(header["solver_spec"])
-    num_reads = int(header["num_reads"])
-    seed = int(header["seed"])
-    ref = header.get("model_ref")
-    if ref is not None:
-        model = _WORKER_MODELS.get(ref)
-        if model is None:
-            return wire.encode_model_miss(ref)
-        _WORKER_MODELS.move_to_end(ref)
-    else:
+    def __init__(
+        self,
+        model_limit: int = _WORKER_MODEL_LIMIT,
+        solver_limit: int = _WORKER_SOLVER_LIMIT,
+    ) -> None:
+        self._models: "OrderedDict[str, QUBOModel]" = OrderedDict()
+        self._solvers: "OrderedDict[str, QUBOSolver]" = OrderedDict()
+        self._model_limit = model_limit
+        self._solver_limit = solver_limit
+        self._lock = threading.Lock()
+
+    def _resolve_model(self, header: dict, buffers) -> Optional[QUBOModel]:
+        ref = header.get("model_ref")
+        with self._lock:
+            if ref is not None:
+                model = self._models.get(ref)
+                if model is not None:
+                    self._models.move_to_end(ref)
+                return model
         model = QUBOModel.from_wire(header["model"], buffers)
-        while len(_WORKER_MODELS) >= _WORKER_MODEL_LIMIT:
-            _WORKER_MODELS.popitem(last=False)
-        _WORKER_MODELS[model.fingerprint()] = model
-    solver = _WORKER_SOLVERS.get(solver_spec)
-    if solver is None:
-        solver = make_solver(solver_spec)
-        while len(_WORKER_SOLVERS) >= _WORKER_SOLVER_LIMIT:
-            _WORKER_SOLVERS.popitem(last=False)
-        _WORKER_SOLVERS[solver_spec] = solver
-    else:
-        _WORKER_SOLVERS.move_to_end(solver_spec)
-    samples = solver.sample(model, num_reads=num_reads, rng=np.random.default_rng(seed))
-    return wire.encode_sample_set(samples)
+        with self._lock:
+            while len(self._models) >= self._model_limit:
+                self._models.popitem(last=False)
+            self._models[model.fingerprint()] = model
+        return model
+
+    def _resolve_solver(self, spec: str) -> QUBOSolver:
+        from repro.service.registry import make_solver
+
+        with self._lock:
+            solver = self._solvers.get(spec)
+            if solver is not None:
+                self._solvers.move_to_end(spec)
+                return solver
+        solver = make_solver(spec)
+        with self._lock:
+            while len(self._solvers) >= self._solver_limit:
+                self._solvers.popitem(last=False)
+            self._solvers[spec] = solver
+        return solver
+
+    def execute(self, payload: bytes) -> bytes:
+        """One engine-call frame -> a sample-set (or ``model_miss``) frame."""
+        from repro.service.distributed import wire
+
+        _, header, buffers = wire.decode_frame(payload, expected_kind="engine_call")
+        model = self._resolve_model(header, buffers)
+        if model is None:
+            return wire.encode_model_miss(str(header["model_ref"]))
+        solver = self._resolve_solver(str(header["solver_spec"]))
+        samples = solver.sample(
+            model,
+            num_reads=int(header["num_reads"]),
+            rng=np.random.default_rng(int(header["seed"])),
+        )
+        return wire.encode_sample_set(samples)
+
+
+#: The per-process runner used by pool workers.  Module-level so the state
+#: survives across calls inside one spawned worker (that persistence is the
+#: whole point of the model memo).
+_WORKER_RUNNER = EngineCallRunner()
+
+
+def _execute_engine_call(payload: bytes) -> bytes:
+    """Pool-worker entry point (must stay a module-level function: the
+    parent submits it by reference and spawn pickles that reference)."""
+    return _WORKER_RUNNER.execute(payload)
+
+
+class SolverSpecCache:
+    """Memoised solver -> registry-spec mapping for shipping solver identity.
+
+    The fingerprint *is* the identity the spec must reproduce (``spec_for``
+    validates exactly that), so it is a collision-safe memo key — unlike
+    ``id()``, which the allocator reuses.  A spec is only accepted when a
+    *spawn-fresh* registry can resolve it: backends registered at runtime in
+    this process do not exist in a worker started elsewhere, so their solvers
+    must take the caller's in-process fallback instead of crashing the worker.
+    Failures memoise too (as ``""``), so a sweep over an unserialisable solver
+    pays the spec round-trip once, not once per engine call.
+
+    Shared by every backend that ships calls out of this process (the process
+    pool and the remote TCP client).
+    """
+
+    def __init__(self) -> None:
+        self._cache: Dict[str, str] = {}
+        self._lock = threading.Lock()
+
+    def spec_for(self, solver: QUBOSolver) -> str:
+        """The spec shipping ``solver``, or :class:`SpecSerializationError`."""
+        from repro.service.registry import SolverRegistry
+
+        key = f"{type(solver).__qualname__}:{solver.config_fingerprint()}"
+        spec = self._cache.get(key)
+        if spec is None:
+            try:
+                spec = SolverRegistry.default().spec_for(solver)
+                name, _ = parse_spec(spec)
+                if name not in _spawn_resolvable_names():
+                    raise SpecSerializationError(
+                        f"backend {name!r} was registered at runtime; a spawned "
+                        f"worker's registry cannot resolve it"
+                    )
+            except SpecSerializationError:
+                spec = ""
+            with self._lock:
+                if len(self._cache) > 1024:
+                    self._cache.clear()
+                self._cache[key] = spec
+        if not spec:
+            raise SpecSerializationError(
+                f"{type(solver).__qualname__} is not spec-serialisable "
+                f"(memoised); running in-process"
+            )
+        return spec
 
 
 class ProcessPoolBackend(ExecutionBackend):
@@ -266,7 +367,7 @@ class ProcessPoolBackend(ExecutionBackend):
         self._lock = threading.Lock()
         self._pool: Optional[ProcessPoolExecutor] = None
         self._closed = False
-        self._spec_cache: Dict[str, str] = {}
+        self._specs = SolverSpecCache()
         # LRU of recently-shipped model fingerprints: calls for these try the
         # compact by-reference frame first (workers memoise models, and a
         # miss — different worker, eviction, worker restart — just retries in
@@ -303,44 +404,6 @@ class ProcessPoolBackend(ExecutionBackend):
     def closed(self) -> bool:
         return self._closed
 
-    def _spec_for(self, solver: QUBOSolver) -> str:
-        """Registry spec of ``solver``, memoised by its config fingerprint.
-
-        The fingerprint *is* the identity the spec must reproduce (spec_for
-        validates exactly that), so it is a collision-safe memo key — unlike
-        ``id()``, which the allocator reuses.  A spec is only accepted when a
-        *spawn-fresh* registry can resolve it: backends registered at runtime
-        in this process do not exist in the workers, so their solvers must
-        take the in-process fallback instead of crashing the worker.
-        """
-        from repro.service.registry import SolverRegistry
-
-        key = f"{type(solver).__qualname__}:{solver.config_fingerprint()}"
-        spec = self._spec_cache.get(key)
-        if spec is None:
-            # Failures memoise too (as ""), so a sweep over an unserialisable
-            # solver pays the spec round-trip once, not once per engine call.
-            try:
-                spec = SolverRegistry.default().spec_for(solver)
-                name, _ = parse_spec(spec)
-                if name not in _spawn_resolvable_names():
-                    raise SpecSerializationError(
-                        f"backend {name!r} was registered at runtime; a spawned "
-                        f"worker's registry cannot resolve it"
-                    )
-            except SpecSerializationError:
-                spec = ""
-            with self._lock:
-                if len(self._spec_cache) > 1024:
-                    self._spec_cache.clear()
-                self._spec_cache[key] = spec
-        if not spec:
-            raise SpecSerializationError(
-                f"{type(solver).__qualname__} is not spec-serialisable "
-                f"(memoised); running in-process"
-            )
-        return spec
-
     # -------------------------------------------------------------- execution
     def run(
         self, model: QUBOModel, solver: QUBOSolver, num_reads: int, seed: int
@@ -348,7 +411,7 @@ class ProcessPoolBackend(ExecutionBackend):
         from repro.service.distributed import wire
 
         try:
-            spec = self._spec_for(solver)
+            spec = self._specs.spec_for(solver)
         except SpecSerializationError:
             # Not expressible on the wire (custom solver class / exotic
             # config): run it here.  Same seed discipline, same samples.
@@ -453,8 +516,30 @@ def _create_backend(name: str, options: Dict[str, object]) -> ExecutionBackend:
                 f"valid options: ['max_workers', 'mp_context']"
             )
         return ProcessPoolBackend(**options)  # type: ignore[arg-type]
+    if name == "remote":
+        # Imported lazily: the remote subsystem is pure stdlib, but keeping it
+        # out of this module's import graph avoids a cycle (remote's client
+        # subclasses ExecutionBackend from here).
+        from repro.service.remote.backend import RemoteBackend
+
+        valid = {
+            "workers",
+            "connect_timeout",
+            "request_timeout",
+            "retries",
+            "backoff_base",
+            "backoff_max",
+        }
+        unknown = sorted(set(options) - valid)
+        if unknown:
+            raise ValueError(
+                f"unknown remote-backend option(s) {unknown}; "
+                f"valid options: {sorted(valid)}"
+            )
+        return RemoteBackend(**options)  # type: ignore[arg-type]
     raise ValueError(
-        f"unknown execution backend {name!r}; known backends: ['thread', 'process']"
+        f"unknown execution backend {name!r}; known backends: "
+        f"['thread', 'process', 'remote']"
     )
 
 

@@ -35,6 +35,15 @@ from repro.service.requests import SolveRequest, SolveResult
 MAGIC = b"QRWF"
 FORMAT_VERSION = 1
 
+#: Version of the *conversation* protocol spoken over a transport (hello /
+#: heartbeat / engine-call exchange), negotiated per connection via the hello
+#: frames below.  Distinct from :data:`FORMAT_VERSION`, which versions the
+#: byte layout of a single frame.
+PROTOCOL_VERSION = 1
+#: Protocol versions this build can speak (negotiation picks the highest
+#: version both peers support).
+SUPPORTED_PROTOCOL_VERSIONS = (PROTOCOL_VERSION,)
+
 _PREFIX = struct.Struct("<4sBI")  # magic, format version, header length
 
 
@@ -213,6 +222,74 @@ def decode_engine_call(data: bytes) -> Tuple[QUBOModel, str, int, int]:
         raise WireFormatError("engine call is by-reference; it carries no model")
     model = QUBOModel.from_wire(header["model"], buffers)
     return model, str(header["solver_spec"]), int(header["num_reads"]), int(header["seed"])
+
+
+# ------------------------------------------------------- control-plane frames
+#
+# Small header-only frames spoken over a long-lived transport (the remote
+# solve farm's TCP connections): connection setup with protocol-version
+# negotiation, liveness/heartbeat probes, and typed error replies.  They ride
+# the same frame layout as the data-plane payloads, so one decoder handles
+# everything a peer can say.
+
+
+def encode_hello(
+    protocol_versions: Sequence[int] = SUPPORTED_PROTOCOL_VERSIONS,
+    info: Optional[dict] = None,
+) -> bytes:
+    """A client's connection opener: the protocol versions it can speak."""
+    return encode_frame(
+        "hello",
+        {
+            "protocol_versions": [int(v) for v in protocol_versions],
+            "info": dict(info or {}),
+        },
+    )
+
+
+def encode_hello_ack(protocol_version: int, info: Optional[dict] = None) -> bytes:
+    """A server's hello reply: the negotiated version plus server metadata."""
+    return encode_frame(
+        "hello_ack",
+        {"protocol_version": int(protocol_version), "info": dict(info or {})},
+    )
+
+
+def negotiate_protocol(offered: Sequence[int]) -> Optional[int]:
+    """The highest protocol version both peers speak, or ``None`` if disjoint."""
+    common = set(int(v) for v in offered) & set(SUPPORTED_PROTOCOL_VERSIONS)
+    return max(common) if common else None
+
+
+def encode_heartbeat(info: Optional[dict] = None) -> bytes:
+    """A liveness probe; the peer answers with a heartbeat-ack frame."""
+    return encode_frame("heartbeat", {"info": dict(info or {})})
+
+
+def encode_heartbeat_ack(stats: Optional[dict] = None) -> bytes:
+    """The heartbeat answer, carrying the worker's load/health counters."""
+    return encode_frame("heartbeat_ack", {"stats": dict(stats or {})})
+
+
+def encode_error(code: str, message: str, retryable: bool = False) -> bytes:
+    """A typed error reply (``overloaded``, ``version_mismatch``, ``solve_error``...).
+
+    ``retryable`` tells the client whether the same request may succeed
+    elsewhere or later (a shed is retryable, a version mismatch is not).
+    """
+    return encode_frame(
+        "error",
+        {"code": str(code), "message": str(message), "retryable": bool(retryable)},
+    )
+
+
+def decode_error(header: dict) -> Tuple[str, str, bool]:
+    """Split a decoded error-frame header into ``(code, message, retryable)``."""
+    return (
+        str(header.get("code", "unknown")),
+        str(header.get("message", "")),
+        bool(header.get("retryable", False)),
+    )
 
 
 def encode_request(request: SolveRequest, registry=None) -> bytes:

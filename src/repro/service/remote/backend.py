@@ -1,0 +1,541 @@
+"""The remote execution backend: a TCP client load-balancing a worker fleet.
+
+:class:`RemoteBackend` is the third :class:`ExecutionBackend` — the same
+``run(model, solver, num_reads, seed)`` contract as the thread and process
+backends, with the engine call shipped over TCP to a fleet of
+:class:`~repro.service.remote.worker.WorkerServer` processes (other cores,
+other machines).  The determinism contract is unchanged: workers run
+``default_rng(seed)``, so a seeded solve is byte-identical no matter which
+worker (or which backend) executes it — which is also why retrying on a
+different worker is always safe.
+
+Robustness model:
+
+* **Load balancing** — requests rotate round-robin over the healthy workers;
+  each worker keeps its own shipped-model LRU, so a sweep over one model pays
+  the model transfer once per worker and by-reference frames afterwards
+  (``model_miss`` re-ships in full on the same connection, exactly like the
+  process pool).
+* **Retries** — connect/transport failures are retried on the next worker
+  with exponential backoff plus jitter, up to ``retries`` extra attempts; the
+  failing worker is marked down with an escalating cooldown and is probed
+  again (a ``heartbeat`` frame) once the cooldown lapses.  Worker sheds
+  (``overloaded`` errors) retry the same way but *without* marking the worker
+  down — it is alive, just full.
+* **Deadlines** — every ``run`` call is bounded by ``request_timeout``
+  seconds end to end (connects, retries, backoff sleeps and the solve
+  itself); expiry raises the typed
+  :class:`~repro.service.remote.protocol.DeadlineExceeded`, never a hang.
+* **Reconnect-on-drop** — connections are pooled per worker; a stale or
+  dropped socket surfaces as a transport failure and the retry path dials
+  fresh.
+
+Configuration mirrors the other backends: construct explicitly, or spec-style
+(``SolveService(backend="remote?workers=10.0.0.5:7070,10.0.0.6:7070")``), or
+globally with ``QROSS_EXECUTION_BACKEND=remote`` plus the
+``QROSS_REMOTE_WORKERS`` address list.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import socket
+import threading
+import time
+from collections import OrderedDict
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.qubo.model import QUBOModel
+from repro.qubo.sampleset import SampleSet
+from repro.service.admission import ServiceOverloaded
+from repro.service.distributed import wire
+from repro.service.distributed.backends import (
+    ExecutionBackend,
+    SolverSpecCache,
+    ThreadExecutionBackend,
+    _WORKER_MODEL_LIMIT,
+)
+from repro.service.executor import default_worker_count
+from repro.service.registry import SpecSerializationError
+from repro.service.remote.protocol import (
+    DeadlineExceeded,
+    NoHealthyWorkers,
+    RemoteProtocolError,
+    RemoteTransportError,
+    RemoteWorkerError,
+    recv_message,
+    send_message,
+)
+from repro.solvers.base import QUBOSolver
+
+#: Environment variable listing the worker fleet for ``backend="remote"``
+#: services: comma-separated ``host:port`` addresses.
+REMOTE_WORKERS_ENV = "QROSS_REMOTE_WORKERS"
+
+#: How many idle connections to keep pooled per worker.
+_POOL_CONNECTIONS_PER_WORKER = 8
+
+AddressLike = Union[str, Tuple[str, int]]
+
+
+def parse_address(value: AddressLike) -> Tuple[str, int]:
+    """``"host:port"`` or ``(host, port)`` -> a validated ``(host, port)``."""
+    if isinstance(value, tuple):
+        host, port = value
+        return str(host), int(port)
+    host, sep, port = str(value).strip().rpartition(":")
+    if not sep or not host:
+        raise ValueError(f"worker address must be host:port, got {value!r}")
+    try:
+        return host, int(port)
+    except ValueError as exc:
+        raise ValueError(f"worker port must be an integer, got {port!r}") from exc
+
+
+def parse_worker_list(
+    workers: Union[None, str, Sequence[AddressLike]]
+) -> List[Tuple[str, int]]:
+    """Normalise a fleet description (string, sequence, or env var) to addresses."""
+    if workers is None:
+        workers = os.environ.get(REMOTE_WORKERS_ENV, "")
+        if not workers.strip():
+            raise ValueError(
+                f"the remote backend needs a worker fleet: pass workers=... or "
+                f"set {REMOTE_WORKERS_ENV} (comma-separated host:port list)"
+            )
+    if isinstance(workers, str):
+        parts: Sequence[AddressLike] = [
+            part for part in workers.replace(";", ",").split(",") if part.strip()
+        ]
+    else:
+        parts = workers
+    addresses = [parse_address(part) for part in parts]
+    if not addresses:
+        raise ValueError("the remote worker list is empty")
+    return addresses
+
+
+class _WorkerState:
+    """Client-side view of one fleet member: health, connections, shipped models."""
+
+    def __init__(self, address: Tuple[str, int]) -> None:
+        self.address = address
+        self.failures = 0
+        self.down_until = 0.0
+        self.served = 0
+        self.idle: List[socket.socket] = []
+        self.shipped: "OrderedDict[str, bool]" = OrderedDict()
+
+    @property
+    def label(self) -> str:
+        return f"{self.address[0]}:{self.address[1]}"
+
+
+class _OverloadedSignal(Exception):
+    """Internal: a worker answered a retryable ``overloaded`` shed."""
+
+
+class RemoteBackend(ExecutionBackend):
+    """Execute engine calls on a fleet of remote TCP workers.
+
+    Parameters
+    ----------
+    workers:
+        The fleet: a comma-separated ``host:port`` string, a sequence of
+        addresses, or ``None`` to read :data:`REMOTE_WORKERS_ENV`.
+    connect_timeout:
+        Seconds allowed for one TCP connect + hello handshake.
+    request_timeout:
+        End-to-end deadline per ``run`` call in seconds (``None`` = no
+        deadline).  The default is generous — solves can be long — but
+        finite, so a dead-but-connected worker can never hang a caller.
+    retries:
+        Extra attempts after the first (transport failures and sheds only;
+        protocol and solve errors are deterministic and surface immediately).
+    backoff_base, backoff_max:
+        Exponential-backoff envelope between attempts; the actual sleep is
+        jittered uniformly in ``[0.5, 1.5) x`` the envelope value so a
+        thundering herd of clients decorrelates.
+    """
+
+    name = "remote"
+    in_process = False
+
+    def __init__(
+        self,
+        workers: Union[None, str, Sequence[AddressLike]] = None,
+        connect_timeout: float = 5.0,
+        request_timeout: Optional[float] = 300.0,
+        retries: int = 3,
+        backoff_base: float = 0.05,
+        backoff_max: float = 2.0,
+    ) -> None:
+        if connect_timeout <= 0:
+            raise ValueError("connect_timeout must be positive")
+        if request_timeout is not None and request_timeout <= 0:
+            raise ValueError("request_timeout must be positive or None")
+        if retries < 0:
+            raise ValueError("retries must be non-negative")
+        self.connect_timeout = float(connect_timeout)
+        self.request_timeout = None if request_timeout is None else float(request_timeout)
+        self.retries = int(retries)
+        self.backoff_base = float(backoff_base)
+        self.backoff_max = float(backoff_max)
+        self._workers = [_WorkerState(a) for a in parse_worker_list(workers)]
+        #: Width hint for the service thread pool: enough submitters to keep
+        #: every fleet member busy even when each runs several calls at once.
+        self.max_workers = max(default_worker_count(), 2 * len(self._workers))
+        self._fallback = ThreadExecutionBackend()
+        self._specs = SolverSpecCache()
+        # Jitter only — never touches the numpy streams that seed solves.
+        self._jitter = random.Random()
+        self._lock = threading.Lock()
+        self._rr = 0
+        self._closed = False
+        self._counters = {
+            "requests": 0,
+            "served": 0,
+            "fallback_in_process": 0,
+            "transport_retries": 0,
+            "overload_retries": 0,
+            "model_reships": 0,
+            "dials": 0,
+        }
+
+    # ----------------------------------------------------------------- lifecycle
+    def close(self) -> None:
+        with self._lock:
+            self._closed = True
+            sockets = [s for w in self._workers for s in w.idle]
+            for worker in self._workers:
+                worker.idle.clear()
+        for sock in sockets:
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    # ------------------------------------------------------------------ execution
+    def run(
+        self, model: QUBOModel, solver: QUBOSolver, num_reads: int, seed: int
+    ) -> SampleSet:
+        try:
+            spec = self._specs.spec_for(solver)
+        except SpecSerializationError:
+            # Same graceful degradation as the process pool: a solver the
+            # wire cannot express runs here, byte-identically (same seed
+            # discipline on every backend).
+            with self._lock:
+                self._counters["fallback_in_process"] += 1
+            return self._fallback.run(model, solver, num_reads, seed)
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("RemoteBackend is closed")
+            self._counters["requests"] += 1
+        deadline = (
+            None
+            if self.request_timeout is None
+            else time.monotonic() + self.request_timeout
+        )
+        last_error: Optional[Exception] = None
+        for attempt in range(self.retries + 1):
+            self._check_deadline(deadline)
+            worker = self._pick_worker()
+            try:
+                samples = self._dispatch_once(
+                    worker, model, spec, num_reads, seed, deadline
+                )
+            except RemoteTransportError as exc:
+                self._mark_down(worker)
+                last_error = exc
+                counter = "transport_retries"
+            except _OverloadedSignal as exc:
+                # The worker is alive, just saturated: do not cool it down,
+                # just back off and spread the next attempt over the fleet.
+                last_error = ServiceOverloaded(
+                    f"worker {worker.label} shed the call: {exc}"
+                )
+                counter = "overload_retries"
+            else:
+                self._mark_healthy(worker)
+                with self._lock:
+                    self._counters["served"] += 1
+                return samples
+            if attempt < self.retries:
+                with self._lock:
+                    self._counters[counter] += 1
+                self._backoff(attempt, deadline)
+        assert last_error is not None
+        raise last_error
+
+    def _dispatch_once(
+        self,
+        worker: _WorkerState,
+        model: QUBOModel,
+        spec: str,
+        num_reads: int,
+        seed: int,
+        deadline: Optional[float],
+    ) -> SampleSet:
+        """One attempt against one worker (ref-frame first, full on miss)."""
+        fingerprint = model.fingerprint()
+        with self._lock:
+            try_ref = fingerprint in worker.shipped
+            if try_ref:
+                worker.shipped.move_to_end(fingerprint)
+        with self._connection(worker, deadline) as conn:
+            if try_ref:
+                payload = wire.encode_engine_call_ref(
+                    fingerprint, spec, num_reads, int(seed)
+                )
+            else:
+                payload = wire.encode_engine_call(model, spec, num_reads, int(seed))
+            reply = self._roundtrip(conn, payload, deadline)
+            kind, header, buffers = self._decode(worker, reply)
+            if kind == "model_miss" and try_ref:
+                # Evicted (or a restarted worker): re-ship in full on the
+                # same connection.
+                with self._lock:
+                    worker.shipped.pop(fingerprint, None)
+                    self._counters["model_reships"] += 1
+                reply = self._roundtrip(
+                    conn,
+                    wire.encode_engine_call(model, spec, num_reads, int(seed)),
+                    deadline,
+                )
+                kind, header, buffers = self._decode(worker, reply)
+            if kind == "sample_set":
+                with self._lock:
+                    worker.shipped[fingerprint] = True
+                    worker.shipped.move_to_end(fingerprint)
+                    while len(worker.shipped) > _WORKER_MODEL_LIMIT:
+                        worker.shipped.popitem(last=False)
+                    worker.served += 1
+                return SampleSet.from_wire(header, buffers)
+            if kind == "error":
+                self._raise_for_error(worker, header)
+            raise RemoteProtocolError(
+                f"worker {worker.label} answered an unexpected {kind!r} frame"
+            )
+
+    @staticmethod
+    def _decode(worker: _WorkerState, reply: bytes):
+        """Decode a reply frame, mapping garbage to the typed protocol error."""
+        try:
+            return wire.decode_frame(reply)
+        except wire.WireFormatError as exc:
+            raise RemoteProtocolError(
+                f"worker {worker.label} sent an undecodable frame: {exc}"
+            ) from exc
+
+    @staticmethod
+    def _raise_for_error(worker: _WorkerState, header: dict) -> None:
+        code, message, retryable = wire.decode_error(header)
+        detail = f"worker {worker.label} [{code}]: {message}"
+        if code == "overloaded" or (retryable and code not in ("solve_error",)):
+            raise _OverloadedSignal(detail)
+        if code == "solve_error":
+            raise RemoteWorkerError(detail)
+        # version_mismatch, wire_format, unsupported, unknown codes: a
+        # configuration/compatibility problem a retry cannot fix.
+        raise RemoteProtocolError(detail)
+
+    # ---------------------------------------------------------- fleet management
+    def _pick_worker(self) -> _WorkerState:
+        """Round-robin over healthy workers; degrade to least-recently-down."""
+        with self._lock:
+            now = time.monotonic()
+            healthy = [w for w in self._workers if w.down_until <= now]
+            pool = healthy or sorted(self._workers, key=lambda w: w.down_until)
+            if not pool:  # pragma: no cover - construction guarantees >= 1
+                raise NoHealthyWorkers("no workers configured")
+            worker = pool[self._rr % len(pool)]
+            self._rr += 1
+            return worker
+
+    def _mark_down(self, worker: _WorkerState) -> None:
+        with self._lock:
+            worker.failures += 1
+            cooldown = min(
+                self.backoff_max, self.backoff_base * (2 ** (worker.failures - 1))
+            )
+            worker.down_until = time.monotonic() + cooldown
+            # A dropped worker's connections are stale; its model memo is
+            # unknown (a restart lost it), so forget what we shipped.
+            stale, worker.idle = worker.idle, []
+            worker.shipped.clear()
+        for sock in stale:
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    def _mark_healthy(self, worker: _WorkerState) -> None:
+        with self._lock:
+            worker.failures = 0
+            worker.down_until = 0.0
+
+    def check_workers(self, timeout: Optional[float] = None) -> Dict[str, Optional[dict]]:
+        """Heartbeat every configured worker; update health marks.
+
+        Returns ``{address: stats-dict-or-None}`` — ``None`` marks a worker
+        that did not answer (it is put on cooldown, to be re-probed later).
+        """
+        timeout = self.connect_timeout if timeout is None else timeout
+        results: Dict[str, Optional[dict]] = {}
+        for worker in list(self._workers):
+            deadline = time.monotonic() + timeout
+            try:
+                with self._connection(worker, deadline) as conn:
+                    reply = self._roundtrip(conn, wire.encode_heartbeat(), deadline)
+                kind, header, _ = self._decode(worker, reply)
+                if kind != "heartbeat_ack":
+                    raise RemoteProtocolError(
+                        f"worker {worker.label} answered {kind!r} to a heartbeat"
+                    )
+            except (RemoteTransportError, DeadlineExceeded, RemoteProtocolError):
+                self._mark_down(worker)
+                results[worker.label] = None
+            else:
+                self._mark_healthy(worker)
+                results[worker.label] = dict(header.get("stats", {}))
+        return results
+
+    # ------------------------------------------------------------------ transport
+    @contextmanager
+    def _connection(
+        self, worker: _WorkerState, deadline: Optional[float]
+    ) -> Iterator[socket.socket]:
+        """Check a pooled connection out (dialling + handshaking if needed)."""
+        with self._lock:
+            conn = worker.idle.pop() if worker.idle else None
+        if conn is None:
+            conn = self._dial(worker, deadline)
+        try:
+            yield conn
+        except BaseException:
+            try:
+                conn.close()
+            except OSError:
+                pass
+            raise
+        else:
+            with self._lock:
+                if not self._closed and len(worker.idle) < _POOL_CONNECTIONS_PER_WORKER:
+                    worker.idle.append(conn)
+                    conn = None
+            if conn is not None:
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+
+    def _dial(self, worker: _WorkerState, deadline: Optional[float]) -> socket.socket:
+        """Fresh TCP connection + hello handshake (version negotiation)."""
+        timeout = self.connect_timeout
+        if deadline is not None:
+            timeout = min(timeout, self._remaining(deadline))
+        try:
+            conn = socket.create_connection(worker.address, timeout=timeout)
+        except (OSError, socket.timeout) as exc:
+            raise RemoteTransportError(
+                f"cannot connect to worker {worker.label}: {exc}"
+            ) from exc
+        with self._lock:
+            self._counters["dials"] += 1
+        try:
+            conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            reply = self._roundtrip(conn, wire.encode_hello(), deadline, io_timeout=timeout)
+            kind, header, _ = self._decode(worker, reply)
+            if kind == "error":
+                self._raise_for_error(worker, header)
+            if kind != "hello_ack":
+                raise RemoteProtocolError(
+                    f"worker {worker.label} answered {kind!r} to hello"
+                )
+            version = int(header.get("protocol_version", -1))
+            if version not in wire.SUPPORTED_PROTOCOL_VERSIONS:
+                raise RemoteProtocolError(
+                    f"worker {worker.label} negotiated unsupported protocol "
+                    f"version {version}"
+                )
+            return conn
+        except BaseException:
+            try:
+                conn.close()
+            except OSError:
+                pass
+            raise
+
+    def _roundtrip(
+        self,
+        sock: socket.socket,
+        payload: bytes,
+        deadline: Optional[float],
+        io_timeout: Optional[float] = None,
+    ) -> bytes:
+        """Send one message and await the reply under the deadline."""
+        timeout = io_timeout
+        if deadline is not None:
+            remaining = self._remaining(deadline)
+            timeout = remaining if timeout is None else min(timeout, remaining)
+        sock.settimeout(timeout)
+        try:
+            send_message(sock, payload)
+            reply = recv_message(sock)
+        except socket.timeout as exc:
+            if deadline is not None and time.monotonic() >= deadline:
+                raise DeadlineExceeded(
+                    f"request deadline of {self.request_timeout}s expired "
+                    f"awaiting a worker reply"
+                ) from exc
+            raise RemoteTransportError(f"worker I/O timed out: {exc}") from exc
+        except OSError as exc:
+            raise RemoteTransportError(f"worker connection failed: {exc}") from exc
+        if reply is None:
+            raise RemoteTransportError("worker closed the connection mid-request")
+        return reply
+
+    def _remaining(self, deadline: float) -> float:
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            raise DeadlineExceeded(
+                f"request deadline of {self.request_timeout}s expired"
+            )
+        return remaining
+
+    def _check_deadline(self, deadline: Optional[float]) -> None:
+        if deadline is not None:
+            self._remaining(deadline)
+
+    def _backoff(self, attempt: int, deadline: Optional[float]) -> None:
+        envelope = min(self.backoff_max, self.backoff_base * (2**attempt))
+        delay = envelope * (0.5 + self._jitter.random())
+        if deadline is not None:
+            delay = min(delay, max(0.0, deadline - time.monotonic()))
+        if delay > 0:
+            time.sleep(delay)
+
+    # ------------------------------------------------------------------ readouts
+    def stats(self) -> dict:
+        """Counter snapshot: traffic, retries and per-worker health."""
+        with self._lock:
+            now = time.monotonic()
+            data = dict(self._counters)
+            data["name"] = self.name
+            data["workers"] = {
+                w.label: {
+                    "healthy": w.down_until <= now,
+                    "consecutive_failures": w.failures,
+                    "served": w.served,
+                    "pooled_connections": len(w.idle),
+                }
+                for w in self._workers
+            }
+        return data

@@ -1,0 +1,367 @@
+"""Standalone solve worker: a TCP server executing engine-call frames.
+
+Run one per core-group on every machine of the fleet::
+
+    python -m repro.service.remote.worker --bind 0.0.0.0:7070 --max-concurrency 4
+
+and point clients at it (``QROSS_REMOTE_WORKERS=host:7070,...`` with
+``QROSS_EXECUTION_BACKEND=remote``, or an explicit
+:class:`~repro.service.remote.backend.RemoteBackend`).
+
+The server speaks the length-prefixed transport of
+:mod:`~repro.service.remote.protocol`; each message is one
+:mod:`~repro.service.distributed.wire` frame:
+
+* ``hello`` — protocol-version negotiation; answered with ``hello_ack`` (the
+  chosen version plus worker metadata) or a non-retryable
+  ``version_mismatch`` error when the client offers no version this build
+  speaks.
+* ``heartbeat`` — liveness probe; answered with ``heartbeat_ack`` carrying
+  the live load counters (served / shed / inflight / pending), which clients
+  use to evict dead workers and rebalance.
+* ``engine_call`` — one solver call, executed through the same
+  :class:`~repro.service.distributed.backends.EngineCallRunner` the process
+  pool uses (spec-resolved solvers, per-worker model memoisation with
+  ``model_miss`` retry semantics, ``default_rng(seed)`` determinism).
+
+Admission control mirrors the local service: ``max_concurrency`` engine calls
+run at once, at most ``max_pending`` more may wait, and anything beyond that
+is answered with a *retryable* ``overloaded`` error instead of queueing
+unboundedly — the client's retry/backoff policy decides what to do with the
+shed.  Solver failures travel back as non-retryable ``solve_error`` frames;
+the worker never dies from a bad request.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import socket
+import sys
+import threading
+from typing import Dict, List, Optional, Tuple
+
+from repro.service.admission import AdmissionGate
+from repro.service.distributed import wire
+from repro.service.distributed.backends import EngineCallRunner
+from repro.service.executor import default_worker_count
+from repro.service.remote.protocol import (
+    RemoteTransportError,
+    recv_message,
+    send_message,
+)
+
+
+class WorkerServer:
+    """One remote solve worker bound to a TCP address.
+
+    Parameters
+    ----------
+    host, port:
+        Bind address.  ``port=0`` (the default) lets the OS pick a free port;
+        the resolved address is available as :attr:`address` — handy for
+        in-process fleets in tests and benchmarks.
+    max_concurrency:
+        Engine calls executing at once (default: CPU-count-capped, like the
+        local pools).
+    max_pending:
+        Accepted calls allowed to *wait* for a slot on top of the running
+        ones (default: ``2 * max_concurrency``).  Beyond the bound, calls are
+        shed with a retryable ``overloaded`` error.
+    runner:
+        The :class:`EngineCallRunner` executing calls (a private one per
+        server by default; tests may share or instrument one).
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_concurrency: Optional[int] = None,
+        max_pending: Optional[int] = None,
+        runner: Optional[EngineCallRunner] = None,
+    ) -> None:
+        if max_concurrency is not None and max_concurrency <= 0:
+            raise ValueError("max_concurrency must be positive")
+        if max_pending is not None and max_pending < 0:
+            raise ValueError("max_pending must be non-negative")
+        self.max_concurrency = max_concurrency or default_worker_count()
+        self.max_pending = (
+            2 * self.max_concurrency if max_pending is None else max_pending
+        )
+        self._runner = runner or EngineCallRunner()
+        # The gate bounds *everything admitted* (running + waiting); the
+        # semaphore then meters how many of the admitted actually execute.
+        self._gate = AdmissionGate(
+            max_pending=self.max_concurrency + self.max_pending,
+            name=f"worker {host}:{port}",
+        )
+        self._slots = threading.BoundedSemaphore(self.max_concurrency)
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((host, port))
+        self._listener.listen(128)
+        # Poll-accept: a thread parked in a blocking accept() is not reliably
+        # woken by close() on every platform, which would stall shutdown for
+        # the full join timeout.  A short accept timeout bounds that to one
+        # tick.
+        self._listener.settimeout(0.25)
+        self.address: Tuple[str, int] = self._listener.getsockname()[:2]
+        self._lock = threading.Lock()
+        self._closed = threading.Event()
+        self._accept_thread: Optional[threading.Thread] = None
+        self._connections: Dict[socket.socket, threading.Thread] = {}
+        self._served = 0
+        self._errors = 0
+
+    # ----------------------------------------------------------------- lifecycle
+    def start(self) -> "WorkerServer":
+        """Begin accepting connections on a background thread."""
+        with self._lock:
+            if self._accept_thread is not None:
+                return self
+            self._accept_thread = threading.Thread(
+                target=self._accept_loop, name="qross-worker-accept", daemon=True
+            )
+            self._accept_thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Blocking variant of :meth:`start` (the CLI entry point)."""
+        self.start()
+        self._closed.wait()
+
+    def close(self) -> None:
+        """Stop accepting, drop open connections, release the port (idempotent)."""
+        self._closed.set()
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        with self._lock:
+            connections = list(self._connections)
+        for conn in connections:
+            _close_socket(conn)
+        thread = self._accept_thread
+        if thread is not None:
+            thread.join(timeout=5.0)
+        with self._lock:
+            threads = list(self._connections.values())
+        for worker_thread in threads:
+            worker_thread.join(timeout=5.0)
+
+    def kill(self) -> None:
+        """Abrupt stop: drop the listener and every connection, no draining.
+
+        Simulates a worker crash for failure-injection tests — in-flight
+        calls see their connection die mid-frame, exactly like a real
+        process death.  Use :meth:`close` for orderly shutdown.
+        """
+        self._closed.set()
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        with self._lock:
+            connections = list(self._connections)
+        for conn in connections:
+            _close_socket(conn)
+
+    def __enter__(self) -> "WorkerServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ serving
+    def _accept_loop(self) -> None:
+        while not self._closed.is_set():
+            try:
+                conn, _ = self._listener.accept()
+            except socket.timeout:
+                continue  # poll tick: re-check the closed flag
+            except OSError:
+                break  # listener closed
+            conn.settimeout(None)  # connection reads are blocking, not polled
+            thread = threading.Thread(
+                target=self._serve_connection,
+                args=(conn,),
+                name="qross-worker-conn",
+                daemon=True,
+            )
+            with self._lock:
+                self._connections[conn] = thread
+            thread.start()
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        try:
+            conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            while not self._closed.is_set():
+                try:
+                    payload = recv_message(conn)
+                except (RemoteTransportError, OSError):
+                    break  # dropped mid-message or socket torn down
+                if payload is None:
+                    break  # clean close
+                try:
+                    send_message(conn, self._respond(payload))
+                except OSError:
+                    break  # client went away while we were answering
+        finally:
+            _close_socket(conn)
+            with self._lock:
+                self._connections.pop(conn, None)
+
+    def _respond(self, payload: bytes) -> bytes:
+        """One request frame -> one response frame (never raises)."""
+        try:
+            kind, header, _ = wire.decode_frame(payload)
+        except wire.WireFormatError as exc:
+            # The length prefix keeps the stream in sync, so a bad frame
+            # poisons only itself — answer and keep the connection.
+            return wire.encode_error("wire_format", str(exc), retryable=False)
+        if kind == "hello":
+            version = wire.negotiate_protocol(header.get("protocol_versions", ()))
+            if version is None:
+                return wire.encode_error(
+                    "version_mismatch",
+                    f"client speaks {header.get('protocol_versions')!r}, "
+                    f"worker speaks {list(wire.SUPPORTED_PROTOCOL_VERSIONS)!r}",
+                    retryable=False,
+                )
+            return wire.encode_hello_ack(version, info=self.stats())
+        if kind == "heartbeat":
+            return wire.encode_heartbeat_ack(self.stats())
+        if kind == "engine_call":
+            return self._respond_engine_call(payload)
+        return wire.encode_error(
+            "unsupported", f"worker cannot handle {kind!r} frames", retryable=False
+        )
+
+    def _respond_engine_call(self, payload: bytes) -> bytes:
+        if not self._gate.try_acquire():
+            return wire.encode_error(
+                "overloaded",
+                f"worker at its admission bound "
+                f"({self.max_concurrency} running + {self.max_pending} pending)",
+                retryable=True,
+            )
+        try:
+            with self._slots:
+                response = self._runner.execute(payload)
+            with self._lock:
+                self._served += 1
+            return response
+        except Exception as exc:  # noqa: BLE001 - worker must not die on bad calls
+            with self._lock:
+                self._errors += 1
+            return wire.encode_error(
+                "solve_error", f"{type(exc).__name__}: {exc}", retryable=False
+            )
+        finally:
+            self._gate.release()
+
+    # ------------------------------------------------------------------ readouts
+    def stats(self) -> dict:
+        """Live load/health counters (also shipped in heartbeat acks)."""
+        gate = self._gate.stats()
+        with self._lock:
+            served, errors = self._served, self._errors
+        return {
+            "pid": os.getpid(),
+            "address": f"{self.address[0]}:{self.address[1]}",
+            "max_concurrency": self.max_concurrency,
+            "max_pending": self.max_pending,
+            "served": served,
+            "solve_errors": errors,
+            "shed": gate["shed"],
+            "inflight": gate["pending"],
+            "peak_inflight": gate["peak_pending"],
+        }
+
+
+def _close_socket(sock: socket.socket) -> None:
+    try:
+        sock.shutdown(socket.SHUT_RDWR)
+    except OSError:
+        pass
+    try:
+        sock.close()
+    except OSError:
+        pass
+
+
+# ------------------------------------------------------------------------- CLI
+def parse_bind(raw: str) -> Tuple[str, int]:
+    """``"host:port"`` -> ``(host, port)`` (port may be 0 for OS-assigned)."""
+    host, sep, port = raw.rpartition(":")
+    if not sep or not host:
+        raise ValueError(f"--bind expects host:port, got {raw!r}")
+    try:
+        return host, int(port)
+    except ValueError as exc:
+        raise ValueError(f"--bind port must be an integer, got {port!r}") from exc
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service.remote.worker",
+        description="QROSS remote solve worker (TCP engine-call server)",
+    )
+    parser.add_argument(
+        "--bind",
+        default="127.0.0.1:0",
+        help="host:port to listen on (port 0 = OS-assigned; default %(default)s)",
+    )
+    parser.add_argument(
+        "--max-concurrency",
+        type=int,
+        default=None,
+        help="engine calls executed at once (default: CPU-count-capped)",
+    )
+    parser.add_argument(
+        "--max-pending",
+        type=int,
+        default=None,
+        help="admitted calls allowed to wait beyond the running ones "
+        "(default: 2x max-concurrency); excess is shed with a retryable error",
+    )
+    args = parser.parse_args(argv)
+    host, port = parse_bind(args.bind)
+
+    # Engine calls already run concurrently across connections; nested
+    # per-read thread pools inside each call would oversubscribe the host
+    # (same reasoning as the process pool's worker initialiser).
+    os.environ.setdefault("QROSS_READ_WORKERS", "1")
+
+    server = WorkerServer(
+        host=host,
+        port=port,
+        max_concurrency=args.max_concurrency,
+        max_pending=args.max_pending,
+    )
+    # The one contractual stdout line: scripts (CI, benchmarks) parse it to
+    # learn the OS-assigned port and to know the worker is accepting.
+    print(
+        f"qross-worker listening on {server.address[0]}:{server.address[1]} "
+        f"(pid {os.getpid()}, max_concurrency {server.max_concurrency}, "
+        f"max_pending {server.max_pending})",
+        flush=True,
+    )
+
+    import signal
+
+    def _shutdown(_signum, _frame):  # pragma: no cover - signal path
+        server.close()
+
+    signal.signal(signal.SIGTERM, _shutdown)
+    signal.signal(signal.SIGINT, _shutdown)
+    try:
+        server.serve_forever()
+    finally:
+        server.close()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

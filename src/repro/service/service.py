@@ -46,6 +46,7 @@ from repro.core.dataset import summarise_samples
 from repro.problems.base import ConstrainedProblem
 from repro.qubo.model import QUBOModel
 from repro.qubo.sampleset import SampleSet
+from repro.service.admission import AdmissionGate, max_pending_from_env
 from repro.service.cache import CachedEvaluation, SolverCallCache
 from repro.service.distributed.backends import BackendLike, resolve_backend
 from repro.service.executor import default_worker_count
@@ -55,6 +56,9 @@ from repro.solvers.base import QUBOSolver
 from repro.utils.rng import RngLike, ensure_rng
 
 SolverLike = Union[str, QUBOSolver]
+
+#: Sentinel: the ``max_pending`` bound was not given, read ``QROSS_MAX_PENDING``.
+_MAX_PENDING_FROM_ENV = object()
 
 
 class SolveService:
@@ -80,6 +84,15 @@ class SolveService:
         ``QROSS_EXECUTION_BACKEND`` (default ``"thread"``).  Backends given
         as spec strings are shared process-wide, so many short-lived services
         reuse one warm worker pool.
+    max_pending:
+        Admission bound: how many requests may be in flight (queued or
+        running) at once.  Beyond the bound, submissions raise the typed
+        :class:`~repro.service.admission.ServiceOverloaded` instead of
+        queueing unboundedly — a traffic spike degrades into explicit sheds
+        the caller can retry, not into unbounded memory and latency.  When
+        omitted the ``QROSS_MAX_PENDING`` environment variable applies;
+        ``None`` disables the bound explicitly (the historical behaviour).
+        Traffic and shed counters are readable via :meth:`stats`.
     """
 
     def __init__(
@@ -89,9 +102,12 @@ class SolveService:
         registry: Optional[SolverRegistry] = None,
         seed: RngLike = None,
         backend: BackendLike = None,
+        max_pending=_MAX_PENDING_FROM_ENV,
     ) -> None:
         if max_workers is not None and max_workers <= 0:
             raise ValueError("max_workers must be positive")
+        if max_pending is _MAX_PENDING_FROM_ENV:
+            max_pending = max_pending_from_env()
         self.backend, self._owns_backend = resolve_backend(backend)
         if max_workers is None:
             # An out-of-process backend is fed by this service's threads, so
@@ -112,6 +128,9 @@ class SolveService:
         self._key_locks = tuple(threading.Lock() for _ in range(64))
         self._executor: Optional[ThreadPoolExecutor] = None
         self._closed = False
+        self._gate = AdmissionGate(max_pending=max_pending, name="SolveService")
+        self._served = 0
+        self._failed = 0
 
     # ---------------------------------------------------------------- plumbing
     def _pool(self) -> ThreadPoolExecutor:
@@ -167,6 +186,57 @@ class SolveService:
     def _key_lock(self, key: str) -> threading.Lock:
         return self._key_locks[hash(key) % len(self._key_locks)]
 
+    def _admit_submit(self, fn, *args) -> "Future":
+        """Admission-gated pool submission: every request path funnels here.
+
+        Acquiring the gate may raise
+        :class:`~repro.service.admission.ServiceOverloaded`; an admitted task
+        releases its slot (and is counted served/failed) when its future
+        settles, whatever thread resolves it.
+        """
+        self._gate.acquire()
+        try:
+            future = self._pool().submit(fn, *args)
+        except BaseException:
+            self._gate.release()
+            raise
+        future.add_done_callback(self._task_done)
+        return future
+
+    def _task_done(self, future: "Future") -> None:
+        try:
+            failed = future.cancelled() or future.exception() is not None
+            with self._lock:
+                if failed:
+                    self._failed += 1
+                else:
+                    self._served += 1
+        finally:
+            self._gate.release()
+
+    def stats(self) -> dict:
+        """Traffic counters: admission, outcomes and the backend's own stats.
+
+        Returns the :class:`AdmissionGate` snapshot (``max_pending`` /
+        ``admitted`` / ``pending`` / ``peak_pending`` / ``shed``) plus
+        ``served`` / ``failed`` task outcomes, a ``retried`` total (transport
+        and overload retries, when the backend performs any) and the
+        backend's counter snapshot under ``"backend"``.
+        """
+        data: dict = self._gate.stats()
+        with self._lock:
+            data["served"] = self._served
+            data["failed"] = self._failed
+        backend_stats = getattr(self.backend, "stats", None)
+        backend = (
+            backend_stats() if callable(backend_stats) else {"name": self.backend.name}
+        )
+        data["backend"] = backend
+        data["retried"] = int(backend.get("transport_retries", 0)) + int(
+            backend.get("overload_retries", 0)
+        )
+        return data
+
     # ------------------------------------------------------------- single shot
     def submit(self, request: SolveRequest) -> "Future[SolveResult]":
         """Schedule one request; returns a future resolving to its result.
@@ -183,9 +253,9 @@ class SolveService:
         self, request: SolveRequest, solver: QUBOSolver
     ) -> "Future[SolveResult]":
         if request.seed is not None:
-            return self._pool().submit(self._run_seeded, request, solver)
+            return self._admit_submit(self._run_seeded, request, solver)
         seed = self._spawn_seed()
-        return self._pool().submit(self._run_unseeded, request, solver, seed)
+        return self._admit_submit(self._run_unseeded, request, solver, seed)
 
     def _run_seeded(self, request: SolveRequest, solver: QUBOSolver) -> SolveResult:
         model = request.resolve_model()
@@ -262,7 +332,7 @@ class SolveService:
                 entries = [resolved[i][0] for i in unseeded]
                 rng = self._spawn_rng()
                 merged.append(
-                    (unseeded, self._pool().submit(self._run_merged, entries, solver, rng))
+                    (unseeded, self._admit_submit(self._run_merged, entries, solver, rng))
                 )
 
         results: List[Optional[SolveResult]] = [None] * len(requests)
@@ -382,12 +452,25 @@ class SolveService:
 
         Unlike :meth:`submit` this accepts a live generator, which lets legacy
         sequential pipelines keep their exact seeded behaviour while still
-        routing every engine call through the service.  Because the caller's
-        stream state must advance exactly as a direct call would, this path
-        always executes in-process, bypassing any out-of-process backend.
+        routing every engine call through the service.  On an in-process
+        backend the engine consumes the caller's stream directly —
+        byte-identical to a direct ``solver.sample`` call.  On an
+        out-of-process backend a live stream's state cannot cross the
+        boundary, so one child seed is drawn from ``rng`` (advancing it by
+        exactly one ``integers`` draw) and the call routes through the
+        configured backend like every other engine call — previously this
+        path silently bypassed the backend and ran on a service thread.
         """
         resolved = self.resolve_solver(solver)
-        return self._pool().submit(resolved.sample, model, num_reads, ensure_rng(rng)).result()
+        rng = ensure_rng(rng)
+        if self.backend.in_process:
+            return self._admit_submit(
+                self.backend.run_with_rng, model, resolved, num_reads, rng
+            ).result()
+        seed = int(rng.integers(0, 2**63 - 1))
+        return self._admit_submit(
+            self.backend.run, model, resolved, num_reads, seed
+        ).result()
 
     def evaluate(
         self,
@@ -426,12 +509,12 @@ class SolveService:
             # sample, summarise) with the engine call routed through the
             # backend — byte-identical on the thread backend, and a custom
             # in-process backend (e.g. GPU) sees the tuning traffic too.
-            pf, energy_mean, energy_std, best_fitness = self._pool().submit(
+            pf, energy_mean, energy_std, best_fitness = self._admit_submit(
                 self._evaluate_with_rng, problem, resolved, parameter, num_reads, rng
             ).result()
         else:
             seed = int(rng.integers(0, 2**63 - 1))
-            pf, energy_mean, energy_std, best_fitness = self._pool().submit(
+            pf, energy_mean, energy_std, best_fitness = self._admit_submit(
                 self._evaluate_on_backend, problem, resolved, parameter, num_reads, seed
             ).result()
         entry = CachedEvaluation(

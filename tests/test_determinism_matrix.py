@@ -1,8 +1,9 @@
 """Cross-solver × cross-backend determinism matrix.
 
 One parameterized sweep over *every* registry-listed solver backend, run on
-the thread and process execution backends with two seeds each, asserting the
-resulting :class:`SampleSet`s are byte-identical per ``(spec, seed)``.  The
+the thread, process and remote (localhost two-worker TCP fleet) execution
+backends with two seeds each, asserting the resulting :class:`SampleSet`s are
+byte-identical per ``(spec, seed)``.  The
 spec list is built from ``SolverRegistry.names()`` at collection time, so a
 newly registered solver (parallel tempering and multi-flip DA landed this
 way) is covered the moment it registers — a backend that cannot keep the
@@ -26,6 +27,7 @@ from repro.service import (
     ThreadExecutionBackend,
     make_solver,
 )
+from repro.service.remote import RemoteBackend, WorkerServer
 
 #: Budget-shrinking options per known backend, so the matrix stays fast on a
 #: 12-variable model.  Backends missing from this table (e.g. ones added by a
@@ -64,6 +66,20 @@ def process_backend():
 
 
 @pytest.fixture(scope="module")
+def remote_backend():
+    """A two-worker localhost fleet behind one RemoteBackend client.
+
+    Two workers (not one) so the round-robin dispatch is part of what the
+    matrix exercises: byte-parity must hold no matter which fleet member
+    serves a given call.
+    """
+    with WorkerServer() as w1, WorkerServer() as w2:
+        backend = RemoteBackend(workers=[w1.address, w2.address], request_timeout=120.0)
+        yield backend
+        backend.close()
+
+
+@pytest.fixture(scope="module")
 def model():
     return random_qubo(12, rng=5)
 
@@ -89,6 +105,23 @@ def test_seeded_solve_is_byte_identical_across_backends(
     assert np.array_equal(first.energies, process.energies)
     assert np.array_equal(first.num_occurrences, process.num_occurrences)
     assert first.assignments.dtype == process.assignments.dtype
+
+
+@pytest.mark.parametrize("spec", matrix_specs())
+@pytest.mark.parametrize("seed", [11, 20210614])
+def test_seeded_solve_is_byte_identical_on_remote_fleet(
+    spec, seed, model, remote_backend
+):
+    """The remote axis of the matrix: a localhost two-worker TCP fleet."""
+    solver = make_solver(spec)
+    reference = ThreadExecutionBackend().run(model, solver, 4, seed)
+    remote = remote_backend.run(model, solver, 4, seed)
+    assert np.array_equal(reference.assignments, remote.assignments), (
+        f"{spec!r} seed {seed}: remote assignments differ from thread"
+    )
+    assert np.array_equal(reference.energies, remote.energies)
+    assert np.array_equal(reference.num_occurrences, remote.num_occurrences)
+    assert reference.assignments.dtype == remote.assignments.dtype
 
 
 def test_matrix_covers_every_registered_backend():
