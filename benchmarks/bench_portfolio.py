@@ -1,0 +1,192 @@
+"""Benchmark: trained UCB portfolio vs its members on hard sparse MVC.
+
+Per-instance time-to-best-known, in the members' shared budget unit (sweeps):
+an algorithm portfolio is worth running only if, *without knowing which member
+wins on a given instance*, it lands near the per-instance oracle (the best
+member picked in hindsight) and clearly beats the per-instance worst member.
+
+Protocol:
+
+* a train pool of sparse G(n, M) MVC instances is harvested
+  (:func:`~repro.portfolio.outcomes.harvest_outcomes`) against tabu-computed
+  best-known targets, producing the JSONL outcome log the portfolio's
+  feature-conditioned model is fitted from;
+* on a disjoint 8-instance test pool, every member runs solo at the full
+  sweep budget with a best-energy trajectory, giving its sweeps-to-target
+  (censored at the budget when it never reaches the tabu best-known);
+* the trained ``ucb`` portfolio solves the same instances under the same
+  total budget, and its sweeps-to-target is read off the recorded
+  ``portfolio_trajectory`` (cumulative member sweeps, so probe overhead and
+  misallocated slices are charged against it).
+
+Asserted: median(portfolio) <= 1.5 x median(oracle member) and strictly
+below median(worst member); plus the registry-wide contract that a seeded
+portfolio solve is byte-identical on the thread and process backends.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+import numpy as np
+
+from repro.portfolio import (
+    OutcomeLog,
+    PortfolioConfig,
+    PortfolioSolver,
+    harvest_outcomes,
+    slice_solver,
+    split_member_list,
+    time_to_target,
+)
+from repro.problems.mvc.generator import generate_sparse_mvc_instance
+from repro.problems.mvc.qubo import MVCProblem
+from repro.service import ProcessPoolBackend, ThreadExecutionBackend
+from repro.service.registry import make_solver
+
+SEED = 0
+BUDGET = 200  # total member sweeps, portfolio and solo runs alike
+NUM_READS = 2
+MEMBERS = "sa,pt?num_replicas=8&swap_interval=1"
+TABU_SPEC = "tabu?num_steps=4000"
+
+#: (num_vertices, edge_density, instance seed).  Sparse enough that a single
+#: cooling pass stalls above the optimum cover — the regime where the two
+#: members genuinely differ (see bench_pt.py).
+TRAIN_INSTANCES = [(120, 0.05, 101), (130, 0.045, 102), (140, 0.04, 103),
+                   (150, 0.04, 104), (130, 0.05, 105), (145, 0.045, 106)]
+TEST_INSTANCES = [(120, 0.05, 1), (125, 0.05, 2), (130, 0.045, 3),
+                  (135, 0.045, 4), (140, 0.04, 5), (145, 0.04, 6),
+                  (150, 0.04, 7), (155, 0.035, 8)]
+
+
+def build_pool(table):
+    return [
+        MVCProblem(
+            generate_sparse_mvc_instance(
+                n, edge_density=density, weighted=False, rng=seed,
+                name=f"mvc-n{n}-s{seed}",
+            )
+        )
+        for n, density, seed in table
+    ]
+
+
+def best_known(problem):
+    model = problem.build_qubo(problem.relaxation_scale())
+    samples = make_solver(TABU_SPEC).sample(
+        model, num_reads=8, rng=np.random.default_rng(SEED)
+    )
+    return model, float(samples.best.energy)
+
+
+def trajectory_time_to_target(trajectory, target, tol=1e-6):
+    for cumulative_budget, energy in trajectory:
+        if energy <= target + tol:
+            return float(cumulative_budget)
+    return None
+
+
+def censor(value):
+    return float(BUDGET) if value is None else float(value)
+
+
+def test_portfolio_tracks_the_oracle_member(record_report, tmp_path):
+    specs = split_member_list(MEMBERS)
+
+    # ---- train: harvest member outcomes against tabu best-known targets.
+    train_pool = build_pool(TRAIN_INSTANCES)
+    train_targets = {}
+    for problem in train_pool:
+        _, target = best_known(problem)
+        train_targets[problem.name] = target
+    log_path = tmp_path / "train_outcomes.jsonl"
+    harvest_outcomes(
+        train_pool, MEMBERS, budget=BUDGET, num_reads=NUM_READS, seed=SEED,
+        targets=train_targets, tolerance=1e-6, log=OutcomeLog(log_path),
+    )
+
+    portfolio = PortfolioSolver(
+        PortfolioConfig(
+            members=MEMBERS, strategy="ucb", sweep_budget=BUDGET,
+            outcome_log=str(log_path), track_trajectory=True,
+        )
+    )
+
+    # ---- test: solo members vs the trained portfolio, same total budget.
+    lines = [
+        f"time-to-best-known on sparse MVC (budget {BUDGET} sweeps, "
+        f"{NUM_READS} reads, censored at budget)",
+        f"  members   : {MEMBERS!r}",
+        f"  portfolio : trained ucb over {len(train_pool)}-instance harvest "
+        f"({len(OutcomeLog.load(log_path))} outcome records)",
+        f"  best-known: {TABU_SPEC!r}, 8 reads",
+    ]
+    member_ttb = {spec: [] for spec in specs}
+    oracle_ttb, worst_ttb, portfolio_ttb = [], [], []
+    for problem in build_pool(TEST_INSTANCES):
+        model, target = best_known(problem)
+
+        per_member = {}
+        for spec in specs:
+            solver = slice_solver(make_solver(spec), BUDGET)
+            samples = solver.sample(
+                model, NUM_READS, rng=np.random.default_rng(SEED)
+            )
+            per_member[spec] = time_to_target(samples, target, BUDGET, tolerance=1e-6)
+            member_ttb[spec].append(censor(per_member[spec]))
+
+        samples = portfolio.sample(model, NUM_READS, rng=np.random.default_rng(SEED))
+        reached = trajectory_time_to_target(
+            samples.info["portfolio_trajectory"], target
+        )
+        portfolio_ttb.append(censor(reached))
+        oracle_ttb.append(min(member_ttb[spec][-1] for spec in specs))
+        worst_ttb.append(max(member_ttb[spec][-1] for spec in specs))
+
+        def fmt(value):
+            return "censored" if value is None or value >= BUDGET else f"{value:.0f}"
+
+        member_text = ", ".join(
+            f"{spec.partition('?')[0]} {fmt(per_member[spec])}" for spec in specs
+        )
+        lines.append(
+            f"  {problem.name}: best-known {target:.1f} | {member_text} | "
+            f"portfolio {fmt(reached)} "
+            f"(spent {samples.info['portfolio_budget_spent']:.0f}, "
+            f"{samples.info['portfolio_rounds']} rounds)"
+        )
+
+    med = statistics.median
+    lines += [
+        f"  median sweeps-to-best-known: portfolio {med(portfolio_ttb):.0f}, "
+        f"oracle member {med(oracle_ttb):.0f}, worst member {med(worst_ttb):.0f}",
+        "  member medians: "
+        + ", ".join(
+            f"{spec.partition('?')[0]} {med(member_ttb[spec]):.0f}" for spec in specs
+        ),
+    ]
+
+    # ---- determinism: thread and process backends agree byte-for-byte.
+    check_model = build_pool(TEST_INSTANCES[:1])[0]
+    check_model = check_model.build_qubo(check_model.relaxation_scale())
+    thread = ThreadExecutionBackend().run(check_model, portfolio, NUM_READS, 11)
+    pool = ProcessPoolBackend(max_workers=1)
+    try:
+        process = pool.run(check_model, portfolio, NUM_READS, 11)
+    finally:
+        pool.close()
+    assert np.array_equal(thread.assignments, process.assignments)
+    assert np.array_equal(thread.energies, process.energies)
+    lines.append("  thread/process byte-parity: OK (seed 11)")
+
+    record_report("bench_portfolio", "\n".join(lines))
+
+    assert med(portfolio_ttb) <= 1.5 * med(oracle_ttb), (
+        f"portfolio median {med(portfolio_ttb)} exceeds 1.5x the oracle "
+        f"member's {med(oracle_ttb)}"
+    )
+    assert med(portfolio_ttb) < med(worst_ttb), (
+        f"portfolio median {med(portfolio_ttb)} is no better than the worst "
+        f"member's {med(worst_ttb)}"
+    )

@@ -48,6 +48,12 @@ Reproducing the paper end to end::
 
 from repro.core.surrogate import SolverSurrogate, SurrogateConfig
 from repro.core.tuner import QROSSTuner
+from repro.portfolio import (
+    OutcomeLog,
+    PortfolioConfig,
+    PortfolioSolver,
+    harvest_outcomes,
+)
 from repro.problems.mvc import MVCInstance, MVCProblem
 from repro.problems.tsp import TSPInstance, TSPProblem
 from repro.qubo import QUBOAccumulator, QUBOModel, RelaxedEncoding
@@ -93,6 +99,10 @@ __all__ = [
     "TabuSearchSolver",
     "QbsolvSolver",
     "QuantumAnnealerSolver",
+    "PortfolioSolver",
+    "PortfolioConfig",
+    "OutcomeLog",
+    "harvest_outcomes",
     "TSPInstance",
     "TSPProblem",
     "MVCInstance",

@@ -19,7 +19,9 @@ we provide:
 from __future__ import annotations
 
 import abc
-from typing import Dict
+import threading
+from collections import OrderedDict
+from typing import Dict, NamedTuple
 
 import numpy as np
 from scipy.sparse.csgraph import minimum_spanning_tree
@@ -268,3 +270,141 @@ def default_extractor_for(problem: ConstrainedProblem) -> FeatureExtractor:
     if isinstance(problem, TSPProblem):
         return TSPStatisticsExtractor()
     return QuboStatisticsExtractor()
+
+
+# --------------------------------------------------------------- memoisation
+class CacheInfo(NamedTuple):
+    """Hit/miss counters of a feature cache (mirrors ``functools.lru_cache``)."""
+
+    hits: int
+    misses: int
+    maxsize: int
+    currsize: int
+
+
+class _FingerprintLRU:
+    """A small thread-safe LRU keyed by fingerprint strings.
+
+    Values are feature vectors; they are returned as copies so a caller
+    mutating its result cannot poison the cache.
+    """
+
+    def __init__(self, maxsize: int = 256) -> None:
+        if maxsize <= 0:
+            raise ValueError("maxsize must be positive")
+        self.maxsize = int(maxsize)
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[str, np.ndarray]" = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+
+    def lookup(self, key: str) -> "np.ndarray | None":
+        with self._lock:
+            value = self._entries.get(key)
+            if value is None:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return value.copy()
+
+    def store(self, key: str, value: np.ndarray) -> None:
+        with self._lock:
+            self._entries[key] = np.asarray(value, dtype=np.float64).copy()
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+
+    def cache_info(self) -> CacheInfo:
+        with self._lock:
+            return CacheInfo(self._hits, self._misses, self.maxsize, len(self._entries))
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._hits = 0
+            self._misses = 0
+
+
+class MemoisedExtractor(FeatureExtractor):
+    """Wrap any extractor with an encoding-fingerprint LRU.
+
+    Repeat traffic on the same instance (the portfolio's per-request feature
+    lookup, the tuning loops logging one record per trial) pays the feature
+    computation once: the key is the problem's *encoding* fingerprint, which
+    identifies the instance independently of the relaxation parameter.
+    """
+
+    def __init__(self, inner: FeatureExtractor, maxsize: int = 256) -> None:
+        self._inner = inner
+        self._cache = _FingerprintLRU(maxsize=maxsize)
+
+    @property
+    def dim(self) -> int:
+        return self._inner.dim
+
+    def extract(self, problem: ConstrainedProblem) -> np.ndarray:
+        key = problem.encode().fingerprint()
+        cached = self._cache.lookup(key)
+        if cached is not None:
+            return cached
+        features = np.asarray(self._inner.extract(problem), dtype=np.float64)
+        self._cache.store(key, features)
+        return features.copy()
+
+    def cache_info(self) -> CacheInfo:
+        return self._cache.cache_info()
+
+    def cache_clear(self) -> None:
+        self._cache.clear()
+
+
+#: Process-wide cache behind :func:`model_feature_vector`: the portfolio
+#: solver calls it once per request, and repeat traffic on the same model is
+#: a fingerprint lookup instead of a matrix scan.
+_MODEL_FEATURE_CACHE = _FingerprintLRU(maxsize=256)
+
+#: Length of the :func:`model_feature_vector` output.
+MODEL_FEATURE_DIM = 8
+
+
+def model_feature_vector(model) -> np.ndarray:
+    """Fixed-size feature vector of a :class:`~repro.qubo.model.QUBOModel`.
+
+    This is the feature space the portfolio conditions on: a solver call sees
+    only the relaxed model (not the problem that produced it), so the outcome
+    log and the per-request lookup must describe *models*.  Storage-aware
+    (sparse models are summarised from their CSR data) and memoised by model
+    fingerprint.
+    """
+    key = model.fingerprint()
+    cached = _MODEL_FEATURE_CACHE.lookup(key)
+    if cached is not None:
+        return cached
+    n = model.num_variables
+    scale = max(float(model.max_abs_coefficient()), 1e-12)
+    abs_mean, std, density, diag_mean = _scaled_matrix_stats(model, scale)
+    features = np.array(
+        [
+            float(n),
+            float(np.log(max(n, 1))),
+            abs_mean,
+            std,
+            density,
+            diag_mean,
+            float(np.log10(scale)) if scale > 0 else 0.0,
+            abs_mean / (std + 1e-12),
+        ]
+    )
+    _MODEL_FEATURE_CACHE.store(key, features)
+    return features
+
+
+def model_feature_cache_info() -> CacheInfo:
+    """Hit/miss counters of the :func:`model_feature_vector` cache."""
+    return _MODEL_FEATURE_CACHE.cache_info()
+
+
+def model_feature_cache_clear() -> None:
+    """Reset the :func:`model_feature_vector` cache (tests)."""
+    _MODEL_FEATURE_CACHE.clear()

@@ -41,6 +41,7 @@ def make_solver(profile: ExperimentProfile, backend: str) -> QUBOSolver:
         "sa": profile.simulated_annealing_config,
         "tabu": profile.tabu_search_config,
         "qa": profile.quantum_annealer_config,
+        "portfolio": profile.portfolio_config,
     }
     factory = config_factories.get(name)
     return registry.create(name, config=factory() if factory is not None else None)

@@ -70,6 +70,14 @@ class ExperimentProfile:
     # Digital annealer: accepted flips applied per step (1 = published
     # single-flip algorithm; >1 = the parallel multi-flip variant).
     da_max_parallel_flips: int = 1
+    # Portfolio solving: member specs, scheduling strategy and total sweep
+    # budget of the ``portfolio`` registry backend this profile builds.  The
+    # members deliberately reuse the profile's own solver configs (same
+    # sweeps/replica shapes), so portfolio-vs-member comparisons are
+    # same-budget-per-slice by construction.
+    portfolio_members: str = "sa,tabu"
+    portfolio_strategy: str = "ucb"
+    portfolio_sweep_budget: int = 320
     # Compute: array backend and float precision the engine kernels run on for
     # every solver this profile builds.  ``None`` inherits the process default
     # (the ``QROSS_ARRAY_BACKEND`` / ``QROSS_ENGINE_DTYPE`` env vars, i.e. the
@@ -122,6 +130,15 @@ class ExperimentProfile:
     def quantum_annealer_config(self) -> QuantumAnnealerConfig:
         return QuantumAnnealerConfig(base_config=self.simulated_annealing_config())
 
+    def portfolio_config(self) -> "PortfolioConfig":
+        from repro.portfolio.solver import PortfolioConfig
+
+        return PortfolioConfig(
+            members=self.portfolio_members,
+            strategy=self.portfolio_strategy,
+            sweep_budget=self.portfolio_sweep_budget,
+        )
+
     def scaled(self, **overrides) -> "ExperimentProfile":
         """Return a copy with selected fields overridden."""
         return replace(self, **overrides)
@@ -144,6 +161,7 @@ SMOKE = ExperimentProfile(
     coarse_multipliers=(0.1, 0.3, 0.5, 0.7, 0.9, 1.2, 1.8, 2.6),
     num_refinement_points=4,
     mvc_num_vertices=24,
+    portfolio_sweep_budget=120,
 )
 
 SMALL = ExperimentProfile(
@@ -161,6 +179,7 @@ SMALL = ExperimentProfile(
     num_trials=20,
     surrogate_epochs=250,
     mvc_num_vertices=48,
+    portfolio_sweep_budget=320,
 )
 
 PAPER = ExperimentProfile(
@@ -178,6 +197,7 @@ PAPER = ExperimentProfile(
     num_trials=20,
     surrogate_epochs=400,
     mvc_num_vertices=65,
+    portfolio_sweep_budget=600,
 )
 
 _PROFILES = {profile.name: profile for profile in (SMOKE, SMALL, PAPER)}

@@ -9,17 +9,20 @@ optimality-gap curve.
 
 from __future__ import annotations
 
+import os
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
+from repro.core.features import model_feature_vector
 from repro.core.strategies.composed import ComposedStrategyConfig
 from repro.core.surrogate import SolverSurrogate
 from repro.core.tuner import QROSSTuner
 from repro.experiments.cache import SolverCallCache
 from repro.experiments.metrics import GapSummary, gap_curve, summarise_gap_curves
+from repro.portfolio.outcomes import OutcomeLog, OutcomeRecord, solver_spec_or_label
 from repro.problems.base import ConstrainedProblem
 from repro.service.distributed.backends import BackendLike
 from repro.service.service import SolveService, default_service
@@ -51,6 +54,34 @@ def _service_for(
 
 #: Signature of a factory producing a tuner for one instance.
 TunerFactory = Callable[[ConstrainedProblem, ParameterBounds, np.random.Generator], ParameterTuner]
+
+#: A solver argument: a registry spec, a live solver, or ``None`` for the
+#: environment-selected default.
+SolverLike = Union[str, QUBOSolver, None]
+
+#: Environment variable naming the comparison runs' default solver spec.
+COMPARISON_SOLVER_ENV = "QROSS_COMPARISON_SOLVER"
+
+
+def default_comparison_solver() -> str:
+    """The solver spec used when a runner is called with ``solver=None``.
+
+    Reads ``QROSS_COMPARISON_SOLVER`` (any registry spec, including
+    ``portfolio?...`` composites — the CI canary leg runs the whole fast
+    suite with a portfolio spec this way) and falls back to the paper's
+    Digital Annealer baseline.
+    """
+    return os.environ.get(COMPARISON_SOLVER_ENV, "").strip() or "da"
+
+
+def _solver_budget(solver: QUBOSolver) -> Optional[float]:
+    """The solver's budget-knob value, if it has one (for outcome records)."""
+    config = getattr(solver, "config", None)
+    for name in ("num_sweeps", "num_steps", "sweep_budget"):
+        value = getattr(config, name, None)
+        if value is not None:
+            return float(value)
+    return None
 
 
 def default_bounds(problem: ConstrainedProblem, low_multiplier: float = 0.05, high_multiplier: float = 4.0) -> ParameterBounds:
@@ -125,7 +156,7 @@ class ComparisonResult:
 
 def tune_instance(
     problem: ConstrainedProblem,
-    solver: QUBOSolver,
+    solver: SolverLike,
     tuner: ParameterTuner,
     num_trials: int,
     num_reads: int,
@@ -133,6 +164,7 @@ def tune_instance(
     cache: Optional[SolverCallCache] = None,
     service: Optional[SolveService] = None,
     backend: BackendLike = None,
+    outcome_log: Optional[OutcomeLog] = None,
 ) -> TrialHistory:
     """Run one tuner on one instance for ``num_trials`` solver calls.
 
@@ -143,12 +175,25 @@ def tune_instance(
     (``"thread"``, ``"process"``, or an
     :class:`~repro.service.distributed.backends.ExecutionBackend`) without
     constructing a service by hand.
+
+    ``solver`` accepts a registry spec string (including ``portfolio?...``
+    composites) or a live solver; ``None`` resolves the
+    ``QROSS_COMPARISON_SOLVER`` default.  With an ``outcome_log``, every trial
+    appends a ``tuning_trial`` :class:`~repro.portfolio.outcomes.OutcomeRecord`
+    (instance features, solver spec, budget, per-trial statistics) — the raw
+    material portfolio models are fit from.
     """
     if num_trials <= 0:
         raise ValueError("num_trials must be positive")
     rng = ensure_rng(rng)
     cache = cache or SolverCallCache()
     service, owns_service = _service_for(service, backend)
+    solver = service.resolve_solver(
+        default_comparison_solver() if solver is None else solver
+    )
+    if outcome_log is not None:
+        solver_spec = solver_spec_or_label(solver)
+        solver_budget = _solver_budget(solver)
     try:
         history = TrialHistory()
         for _ in range(num_trials):
@@ -163,6 +208,24 @@ def tune_instance(
             )
             history.append(trial)
             tuner.observe(trial, history)
+            if outcome_log is not None:
+                features = model_feature_vector(problem.build_qubo(parameter))
+                outcome_log.append(
+                    OutcomeRecord(
+                        instance=problem.name,
+                        features=tuple(float(v) for v in features),
+                        solver_spec=solver_spec,
+                        budget=solver_budget,
+                        best_energy=None,
+                        num_reads=num_reads,
+                        relaxation_parameter=float(parameter),
+                        probability_of_feasibility=float(
+                            trial.probability_of_feasibility
+                        ),
+                        best_fitness=float(trial.best_fitness),
+                        kind="tuning_trial",
+                    )
+                )
         return history
     finally:
         if owns_service:
@@ -171,7 +234,7 @@ def tune_instance(
 
 def run_comparison(
     problems: Sequence[ConstrainedProblem],
-    solver: QUBOSolver,
+    solver: SolverLike,
     tuner_factories: Dict[str, TunerFactory],
     num_trials: int,
     num_reads: int,
@@ -181,6 +244,7 @@ def run_comparison(
     service: Optional[SolveService] = None,
     backend: BackendLike = None,
     max_parallel: Optional[int] = None,
+    outcome_log: Optional[OutcomeLog] = None,
 ) -> ComparisonResult:
     """Run every method on every instance and collect gap curves.
 
@@ -196,12 +260,21 @@ def run_comparison(
     perturb them.  A *shared* ``cache=`` weakens that — which pair wins a
     concurrent miss on a common evaluation key decides whose stream advances,
     so parallel runs may then differ from sequential ones.
+
+    ``solver`` may be a spec string (``"da"``, ``"portfolio?members=sa,tabu"``)
+    or ``None`` for the ``QROSS_COMPARISON_SOLVER`` default; ``outcome_log``
+    threads through to :func:`tune_instance`, collecting one ``tuning_trial``
+    record per trial across every (instance, method) pair (the log's appends
+    are lock-protected, so parallel pairs interleave safely).
     """
     if not problems:
         raise ValueError("at least one problem is required")
     if not tuner_factories:
         raise ValueError("at least one tuner factory is required")
     service, owns_service = _service_for(service, backend)
+    solver = service.resolve_solver(
+        default_comparison_solver() if solver is None else solver
+    )
     result = ComparisonResult(methods=list(tuner_factories), num_trials=num_trials)
 
     def run_pair(job) -> InstanceRunResult:
@@ -216,6 +289,7 @@ def run_comparison(
             rng=stream,
             cache=cache,
             service=service,
+            outcome_log=outcome_log,
         )
         return InstanceRunResult(
             instance_name=problem.name,

@@ -1,0 +1,89 @@
+"""Member plumbing for the portfolio: spec lists and budget slicing.
+
+A portfolio member is any registry backend whose config exposes a *budget
+knob* — the field that says how much work one call performs.  The annealers
+count sweeps (``num_sweeps``), the local searches count steps (``num_steps``);
+either way the portfolio treats the field's unit as the member's budget
+currency and schedules (member, budget) slices against it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import fields as dataclass_fields, is_dataclass, replace
+from typing import Sequence, Tuple, Union
+
+from repro.solvers.base import QUBOSolver
+
+#: Config fields recognised as a member's budget knob, in probe order.
+BUDGET_FIELDS = ("num_sweeps", "num_steps")
+
+#: Registry names a portfolio refuses as members (no nested portfolios: the
+#: budget accounting and determinism contract would not compose).
+_FORBIDDEN_MEMBERS = ("portfolio", "algorithm-portfolio")
+
+MemberList = Union[str, Sequence[str]]
+
+
+def split_member_list(members: MemberList) -> Tuple[str, ...]:
+    """Normalise a member list (comma string or sequence) into spec tuples.
+
+    ``"sa,pt?num_replicas=4"`` and ``["sa", "pt?num_replicas=4"]`` are
+    equivalent.  Inside a *parent* spec string, member specs that contain
+    ``?``/``=``/``&`` must be URL-escaped (the registry grammar unquotes them
+    on parse); by the time this function sees the value it is plain text.
+    """
+    if isinstance(members, str):
+        parts = members.split(",")
+    else:
+        parts = [str(part) for part in members]
+    specs = tuple(part.strip() for part in parts if part.strip())
+    if not specs:
+        raise ValueError("a portfolio needs at least one member spec")
+    for spec in specs:
+        head = spec.partition("?")[0].strip().lower()
+        if head in _FORBIDDEN_MEMBERS:
+            raise ValueError(
+                f"portfolio member {spec!r} is itself a portfolio; "
+                f"portfolios do not nest"
+            )
+    return specs
+
+
+def join_member_list(members: MemberList) -> str:
+    """The canonical comma-joined form of a member list."""
+    return ",".join(split_member_list(members))
+
+
+def budget_field(solver: QUBOSolver) -> str:
+    """The config field carrying this member's sweep/step budget."""
+    config = getattr(solver, "config", None)
+    if is_dataclass(config) and not isinstance(config, type):
+        names = {f.name for f in dataclass_fields(config)}
+        for name in BUDGET_FIELDS:
+            if name in names:
+                return name
+    raise ValueError(
+        f"solver {solver.name!r} exposes none of {BUDGET_FIELDS}; it cannot "
+        f"be scheduled under a sweep budget — pick members with a budget knob "
+        f"(sa, pt, da, tabu, ...)"
+    )
+
+
+def slice_solver(
+    solver: QUBOSolver, budget: int, track_trajectory: bool = True
+) -> QUBOSolver:
+    """A copy of ``solver`` configured to spend exactly ``budget`` units.
+
+    The slice asks for a best-energy trajectory when the member supports one,
+    so the portfolio can refine time-to-target *within* a slice instead of
+    charging the whole slice budget.
+    """
+    budget = int(budget)
+    if budget <= 0:
+        raise ValueError(f"slice budget must be positive, got {budget}")
+    field = budget_field(solver)
+    overrides = {field: budget}
+    names = {f.name for f in dataclass_fields(solver.config)}
+    if track_trajectory and "track_trajectory" in names:
+        overrides["track_trajectory"] = True
+    return type(solver)(replace(solver.config, **overrides))

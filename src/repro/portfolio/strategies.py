@@ -1,0 +1,424 @@
+"""Scheduling strategies: who runs next, and with how much budget.
+
+A :class:`Strategy` turns a total sweep budget into a sequence of *rounds*;
+each round is a list of ``(member_spec, slice_budget)`` actions the
+:class:`~repro.portfolio.solver.PortfolioSolver` fans out concurrently.
+After every round the strategy observes one :class:`SliceOutcome` per action
+and may replan — reweight members, drop (cancel) hopeless ones, or stop.
+
+Three strategies mirror the borg portfolio solver's trio:
+
+* :class:`FixedStrategy` — the whole budget on one member (baseline / oracle
+  probe);
+* :class:`SequenceStrategy` — a static schedule of (spec, budget) actions,
+  run one per round until exhausted;
+* :class:`ModelingStrategy` — feature-conditioned selection: an optional
+  :class:`PortfolioModel` fit from an :class:`~repro.portfolio.outcomes.OutcomeLog`
+  seeds per-member priors, then UCB or epsilon-greedy bandit updates steer the
+  remaining rounds, with mid-budget replanning and member cancellation.
+
+Strategies are deterministic given the rng handed to :meth:`Strategy.allocate`
+(epsilon-greedy is the only consumer of randomness).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.portfolio.members import split_member_list
+from repro.portfolio.outcomes import OutcomeLog
+
+
+@dataclass(frozen=True)
+class SliceOutcome:
+    """What one (member, budget) slice achieved within its round."""
+
+    spec: str
+    budget: float
+    best_energy: float
+    improved: bool
+    round_index: int
+    cumulative_budget: float
+
+
+class Strategy:
+    """The scheduling seam; subclasses override the three hooks below."""
+
+    def begin(
+        self,
+        members: Sequence[str],
+        total_budget: float,
+        features: Optional[Sequence[float]] = None,
+    ) -> None:
+        """Reset state for one solve over ``members`` with ``total_budget``."""
+        self._members: Tuple[str, ...] = tuple(members)
+        self._total_budget = float(total_budget)
+
+    def allocate(
+        self, remaining: float, rng: np.random.Generator
+    ) -> List[Tuple[str, float]]:
+        """The next round's ``(spec, budget)`` actions; empty list stops."""
+        raise NotImplementedError
+
+    def observe_round(self, outcomes: Sequence[SliceOutcome]) -> None:
+        """Feedback for the actions the last :meth:`allocate` produced."""
+
+
+class FixedStrategy(Strategy):
+    """Spend the entire budget in one slice of one member.
+
+    ``spec=None`` takes the portfolio's first member, so
+    ``portfolio?members=pt&strategy=fixed`` degrades to a plain (but
+    service-routed) single-solver run.
+    """
+
+    def __init__(self, spec: Optional[str] = None) -> None:
+        self.spec = spec
+
+    def begin(self, members, total_budget, features=None):
+        super().begin(members, total_budget, features)
+        spec = self.spec if self.spec is not None else self._members[0]
+        if spec not in self._members:
+            raise ValueError(f"fixed spec {spec!r} is not a member of {self._members}")
+        self._schedule: List[Tuple[str, float]] = [(spec, self._total_budget)]
+
+    def allocate(self, remaining, rng):
+        if not self._schedule or remaining <= 0:
+            return []
+        spec, budget = self._schedule.pop(0)
+        return [(spec, min(budget, remaining))]
+
+
+class SequenceStrategy(Strategy):
+    """A static (spec, budget) schedule, one action per round.
+
+    With no explicit ``schedule`` the total budget is split evenly over the
+    members in portfolio order — the classic round-robin restart schedule.
+    """
+
+    def __init__(self, schedule: Optional[Sequence[Tuple[str, float]]] = None) -> None:
+        self.schedule = None if schedule is None else [
+            (str(spec), float(budget)) for spec, budget in schedule
+        ]
+
+    def begin(self, members, total_budget, features=None):
+        super().begin(members, total_budget, features)
+        if self.schedule is not None:
+            for spec, budget in self.schedule:
+                if spec not in self._members:
+                    raise ValueError(
+                        f"schedule spec {spec!r} is not a member of {self._members}"
+                    )
+                if budget <= 0:
+                    raise ValueError(f"schedule budget must be positive, got {budget}")
+            self._pending = list(self.schedule)
+        else:
+            share = max(1.0, self._total_budget / len(self._members))
+            self._pending = [(spec, share) for spec in self._members]
+
+    def allocate(self, remaining, rng):
+        if not self._pending or remaining <= 0:
+            return []
+        spec, budget = self._pending.pop(0)
+        return [(spec, min(budget, remaining))]
+
+
+class PortfolioModel:
+    """Per-spec success model fit from an :class:`OutcomeLog`.
+
+    For each training instance and member, the record's outcome is scored in
+    ``[0, 1]``: a member that hit the target earns ``1 - 0.5 * ttt/budget``
+    (faster is better), a miss earns 0.  Prediction is k-nearest-neighbour
+    over z-scored instance feature vectors: the prior for a member is its mean
+    score over the ``k`` instances most similar to the query, and
+    ``expected_cost`` is the median time-to-target over the successful
+    neighbour runs (``None`` when no neighbour succeeded).  Deterministic —
+    no randomness anywhere in fit or predict.
+    """
+
+    def __init__(self, knn: int = 4, tolerance: float = 1e-9) -> None:
+        self.knn = int(knn)
+        self.tolerance = float(tolerance)
+        self._features: Optional[np.ndarray] = None
+        self._mean: Optional[np.ndarray] = None
+        self._std: Optional[np.ndarray] = None
+        self._scores: List[Dict[str, float]] = []
+        self._costs: List[Dict[str, float]] = []
+        self.members: Tuple[str, ...] = ()
+
+    @property
+    def fitted(self) -> bool:
+        return self._features is not None and len(self._scores) > 0
+
+    def fit(self, log: OutcomeLog, members: Sequence[str]) -> "PortfolioModel":
+        self.members = tuple(members)
+        wanted = set(self.members)
+        by_instance: Dict[str, Dict[str, "OutcomeRecordLike"]] = {}
+        feature_of: Dict[str, Tuple[float, ...]] = {}
+        for record in log:
+            if record.solver_spec not in wanted or record.best_energy is None:
+                continue
+            by_instance.setdefault(record.instance, {})[record.solver_spec] = record
+            feature_of.setdefault(record.instance, record.features)
+
+        rows, scores, costs = [], [], []
+        for instance in sorted(by_instance):
+            records = by_instance[instance]
+            targets = [
+                r.target_energy for r in records.values() if r.target_energy is not None
+            ]
+            target = min(targets) if targets else min(
+                r.best_energy for r in records.values()
+            )
+            tol = self.tolerance * max(1.0, abs(target))
+            row_scores: Dict[str, float] = {}
+            row_costs: Dict[str, float] = {}
+            for spec, record in records.items():
+                hit = (
+                    record.time_to_target is not None
+                    or record.best_energy <= target + tol
+                )
+                if hit:
+                    if record.time_to_target is not None and record.budget:
+                        frac = min(1.0, record.time_to_target / record.budget)
+                        row_costs[spec] = float(record.time_to_target)
+                    else:
+                        frac = 1.0
+                    row_scores[spec] = 1.0 - 0.5 * frac
+                else:
+                    row_scores[spec] = 0.0
+            rows.append(feature_of[instance])
+            scores.append(row_scores)
+            costs.append(row_costs)
+
+        if rows:
+            features = np.asarray(rows, dtype=np.float64)
+            self._mean = features.mean(axis=0)
+            self._std = features.std(axis=0)
+            self._std[self._std < 1e-12] = 1.0
+            self._features = (features - self._mean) / self._std
+            self._scores = scores
+            self._costs = costs
+        return self
+
+    def predict(
+        self, features: Optional[Sequence[float]]
+    ) -> Dict[str, Tuple[float, Optional[float]]]:
+        """Per-member ``(prior_score, expected_cost)`` for a query instance.
+
+        Without features (or an unfitted model) every member gets the neutral
+        prior 0.5 with unknown cost.
+        """
+        neutral = {spec: (0.5, None) for spec in self.members}
+        if not self.fitted:
+            return neutral
+        if features is None:
+            neighbour_indices = list(range(len(self._scores)))
+        else:
+            query = (np.asarray(features, dtype=np.float64) - self._mean) / self._std
+            distances = np.linalg.norm(self._features - query, axis=1)
+            order = np.argsort(distances, kind="stable")
+            neighbour_indices = list(order[: max(1, self.knn)])
+
+        out: Dict[str, Tuple[float, Optional[float]]] = {}
+        for spec in self.members:
+            votes = [
+                self._scores[i][spec] for i in neighbour_indices if spec in self._scores[i]
+            ]
+            cost_votes = sorted(
+                self._costs[i][spec] for i in neighbour_indices if spec in self._costs[i]
+            )
+            prior = float(np.mean(votes)) if votes else 0.5
+            cost = float(np.median(cost_votes)) if cost_votes else None
+            out[spec] = (prior, cost)
+        return out
+
+
+class ModelingStrategy(Strategy):
+    """Feature-conditioned bandit scheduling with mid-budget replanning.
+
+    Round 0 either *exploits* (one large slice of the model's favourite when
+    the prior gap is confident) or *probes* every member with a small slice.
+    Later rounds pick the top ``width`` members by UCB score (``mode="ucb"``)
+    or epsilon-greedy (``mode="epsilon"``), and *cancel* members whose upper
+    confidence bound has fallen ``cancel_margin`` below the best mean after
+    ``min_observations`` looks — cancelled members receive no further budget.
+
+    Rewards are round-relative: the best member of a round earns 1, the rest
+    a linear share of the spread, so the bandit adapts when a prior
+    (or a lucky first slice) turns out to be wrong — replanning, not a fixed
+    schedule.
+    """
+
+    def __init__(
+        self,
+        mode: str = "ucb",
+        model: Optional[PortfolioModel] = None,
+        round_budget: Optional[float] = None,
+        width: int = 2,
+        epsilon: float = 0.1,
+        exploration: float = 0.5,
+        prior_weight: float = 2.0,
+        cost_margin: float = 2.0,
+        cancel_margin: float = 0.25,
+        min_observations: int = 2,
+    ) -> None:
+        if mode not in ("ucb", "epsilon"):
+            raise ValueError(f"mode must be 'ucb' or 'epsilon', got {mode!r}")
+        self.mode = mode
+        self.model = model
+        self.round_budget = round_budget
+        self.width = int(width)
+        self.epsilon = float(epsilon)
+        self.exploration = float(exploration)
+        self.prior_weight = float(prior_weight)
+        self.cost_margin = float(cost_margin)
+        self.cancel_margin = float(cancel_margin)
+        self.min_observations = int(min_observations)
+
+    # ------------------------------------------------------------------ hooks
+    def begin(self, members, total_budget, features=None):
+        super().begin(members, total_budget, features)
+        predictions = (
+            self.model.predict(features)
+            if self.model is not None and self.model.fitted
+            else {}
+        )
+        self._priors = {
+            spec: predictions.get(spec, (0.5, None))[0] for spec in self._members
+        }
+        self._costs = {
+            spec: predictions.get(spec, (0.5, None))[1] for spec in self._members
+        }
+        self._counts = {spec: 0 for spec in self._members}
+        self._rewards = {spec: 0.0 for spec in self._members}
+        self._active = list(self._members)
+        self._cancelled: List[str] = []
+        self._round = 0
+        self._round_size = float(
+            self.round_budget
+            if self.round_budget is not None
+            else max(1.0, self._total_budget // 8)
+        )
+        self._confident = bool(predictions) and self._prior_gap() >= 0.1
+
+    def _prior_gap(self) -> float:
+        ranked = sorted((self._priors[s] for s in self._members), reverse=True)
+        return ranked[0] - ranked[1] if len(ranked) > 1 else 1.0
+
+    def _mean(self, spec: str) -> float:
+        return (self.prior_weight * self._priors[spec] + self._rewards[spec]) / (
+            self.prior_weight + self._counts[spec]
+        )
+
+    def _ucb(self, spec: str) -> float:
+        bonus = self.exploration * math.sqrt(
+            math.log(self._round + 2) / (self._counts[spec] + 1)
+        )
+        return self._mean(spec) + bonus
+
+    @property
+    def cancelled(self) -> Tuple[str, ...]:
+        return tuple(self._cancelled)
+
+    def allocate(self, remaining, rng):
+        if remaining <= 0 or not self._active:
+            return []
+        if self._round == 0:
+            if self._confident:
+                best = max(self._active, key=lambda s: (self._priors[s], -self._members.index(s)))
+                cost = self._costs.get(best)
+                size = (
+                    min(remaining, max(self._round_size, self.cost_margin * cost))
+                    if cost is not None
+                    else remaining
+                )
+                return [(best, float(size))]
+            share = max(1.0, min(self._round_size, remaining // len(self._active)))
+            return [(spec, float(share)) for spec in self._active]
+
+        unprobed = [spec for spec in self._active if self._counts[spec] == 0]
+        if unprobed:
+            chosen = unprobed[: max(1, self.width)]
+        elif self.mode == "epsilon" and float(rng.random()) < self.epsilon:
+            picks = rng.choice(len(self._active), size=min(self.width, len(self._active)), replace=False)
+            chosen = [self._active[int(i)] for i in sorted(picks)]
+        else:
+            score = self._ucb if self.mode == "ucb" else self._mean
+            ranked = sorted(
+                self._active, key=lambda s: (-score(s), self._members.index(s))
+            )
+            chosen = ranked[: max(1, self.width)]
+        share = max(1.0, min(self._round_size, remaining / len(chosen)))
+        return [(spec, float(min(share, remaining))) for spec in chosen]
+
+    def observe_round(self, outcomes):
+        outcomes = list(outcomes)
+        if not outcomes:
+            return
+        self._round += 1
+        energies = [o.best_energy for o in outcomes]
+        best, worst = min(energies), max(energies)
+        spread = worst - best
+        for outcome in outcomes:
+            if len(outcomes) == 1:
+                reward = 1.0 if outcome.improved else 0.0
+            elif spread <= 1e-12:
+                reward = 1.0 if outcome.improved else 0.5
+            else:
+                reward = (worst - outcome.best_energy) / spread
+            self._counts[outcome.spec] += 1
+            self._rewards[outcome.spec] += float(reward)
+
+        if len(self._active) > 1:
+            best_mean = max(self._mean(spec) for spec in self._active)
+            survivors = []
+            for spec in self._active:
+                drop = (
+                    self._counts[spec] >= self.min_observations
+                    and self._ucb(spec) < best_mean - self.cancel_margin
+                )
+                if drop and len(self._active) - len(self._cancelled) > 1:
+                    self._cancelled.append(spec)
+                else:
+                    survivors.append(spec)
+            if survivors:
+                self._active = survivors
+
+
+def make_strategy(
+    name: str,
+    members,
+    model: Optional[PortfolioModel] = None,
+    round_budget: Optional[float] = None,
+    width: int = 2,
+    epsilon: float = 0.1,
+    exploration: float = 0.5,
+) -> Strategy:
+    """Strategy factory for the registry-facing names.
+
+    ``fixed`` / ``sequence`` / ``ucb`` / ``epsilon`` — the latter two are the
+    two faces of :class:`ModelingStrategy`.
+    """
+    specs = split_member_list(members)
+    if name == "fixed":
+        return FixedStrategy(specs[0])
+    if name == "sequence":
+        return SequenceStrategy()
+    if name in ("ucb", "epsilon"):
+        return ModelingStrategy(
+            mode=name,
+            model=model,
+            round_budget=round_budget,
+            width=width,
+            epsilon=epsilon,
+            exploration=exploration,
+        )
+    raise ValueError(
+        f"unknown portfolio strategy {name!r}; expected one of "
+        f"'fixed', 'sequence', 'ucb', 'epsilon'"
+    )

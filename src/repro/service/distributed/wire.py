@@ -271,6 +271,21 @@ def encode_heartbeat_ack(stats: Optional[dict] = None) -> bytes:
     return encode_frame("heartbeat_ack", {"stats": dict(stats or {})})
 
 
+def encode_stats_request(info: Optional[dict] = None) -> bytes:
+    """An explicit runtime-stats probe; the peer answers with a stats-ack.
+
+    Distinct from the heartbeat so control-plane clients can ask "how loaded
+    are you" without the liveness semantics (heartbeats reset health marks
+    and are answered even by peers that do not track counters).
+    """
+    return encode_frame("stats", {"info": dict(info or {})})
+
+
+def encode_stats_ack(stats: Optional[dict] = None) -> bytes:
+    """The stats answer: admission / served / shed counters of the worker."""
+    return encode_frame("stats_ack", {"stats": dict(stats or {})})
+
+
 def encode_error(code: str, message: str, retryable: bool = False) -> bytes:
     """A typed error reply (``overloaded``, ``version_mismatch``, ``solve_error``...).
 

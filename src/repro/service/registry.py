@@ -16,6 +16,14 @@ parse as int, float, bool (``true``/``false``/``yes``/``no``), ``none``/
 with dotted keys (``qbsolv?subsolver_config.num_steps=80``).  Keyword
 arguments passed alongside a spec override the spec's own options.
 
+Composite backends need richer string values: list-valued options are plain
+comma-joined strings (``portfolio?members=sa,tabu``), and a *nested spec*
+inside such a list URL-escapes its reserved ``?``/``&``/``=`` characters
+(``portfolio?members=sa,pt%3Fnum_replicas%3D8`` carries the member
+``pt?num_replicas=8``).  ``parse_value`` unquotes percent-escaped strings on
+the way in and :meth:`SolverRegistry.spec_for` re-quotes them on the way out,
+so composite specs round-trip like flat ones.
+
 Two solvers built from the same spec share a ``config_fingerprint()`` — the
 stable hash cache layers key on — so a spec round-trips: parse it twice, or
 construct the config dataclass by hand, and the fingerprints agree.  The
@@ -29,6 +37,7 @@ from __future__ import annotations
 import dataclasses
 from dataclasses import dataclass, fields as dataclass_fields
 from typing import Any, Dict, Iterable, List, Optional, Tuple, Type
+from urllib.parse import quote, unquote
 
 from repro.solvers.base import QUBOSolver
 from repro.solvers.digital_annealer import DigitalAnnealerConfig, DigitalAnnealerSolver
@@ -381,7 +390,16 @@ def _format_option_value(key: str, value: Any) -> str:
     if isinstance(value, (int, float)):
         raw = repr(value)
     elif isinstance(value, str):
-        raw = value
+        # Strings get a second chance through the URL-escape layer: nested
+        # specs inside list-valued options (portfolio members) carry the
+        # reserved ?/&/= characters, which percent-encoding smuggles through
+        # the flat grammar.  Whichever form is tried must parse back exactly.
+        for candidate in (value, quote(value, safe=",")):
+            if not any(ch in candidate for ch in "?&=") and parse_value(candidate) == value:
+                return candidate
+        raise SpecSerializationError(
+            f"option {key!r} value {value!r} does not survive the spec grammar"
+        )
     else:
         raise SpecSerializationError(
             f"option {key!r} holds a {type(value).__name__} value; only "
@@ -485,6 +503,8 @@ def parse_value(raw: str) -> Any:
         return float(raw)
     except ValueError:
         pass
+    if "%" in raw:
+        return unquote(raw)
     return raw
 
 
@@ -536,6 +556,17 @@ def _build_default_registry() -> SolverRegistry:
         RandomSolver,
         None,
         description="uniform random sampling baseline",
+    )
+    # Imported here, not at module top: the portfolio package builds on the
+    # service layer, which imports this module.
+    from repro.portfolio.solver import PortfolioConfig, PortfolioSolver
+
+    registry.register(
+        "portfolio",
+        PortfolioSolver,
+        PortfolioConfig,
+        aliases=("algorithm-portfolio",),
+        description="budget-aware per-instance scheduling over member solver specs",
     )
     return registry
 

@@ -382,10 +382,15 @@ class RemoteBackend(ExecutionBackend):
             worker.down_until = 0.0
 
     def check_workers(self, timeout: Optional[float] = None) -> Dict[str, Optional[dict]]:
-        """Heartbeat every configured worker; update health marks.
+        """Probe every configured worker's runtime stats; update health marks.
 
-        Returns ``{address: stats-dict-or-None}`` — ``None`` marks a worker
-        that did not answer (it is put on cooldown, to be re-probed later).
+        Sends the explicit ``stats`` control frame and returns
+        ``{address: stats-dict-or-None}`` — the dict carries the worker's
+        admission / served / shed counters, ``None`` marks a worker that did
+        not answer (it is put on cooldown, to be re-probed later).  Workers
+        predating the ``stats`` frame answer it with a non-retryable
+        ``unsupported`` error; those are re-probed with a plain heartbeat on
+        the same connection, so mixed fleets stay fully observable.
         """
         timeout = self.connect_timeout if timeout is None else timeout
         results: Dict[str, Optional[dict]] = {}
@@ -393,12 +398,19 @@ class RemoteBackend(ExecutionBackend):
             deadline = time.monotonic() + timeout
             try:
                 with self._connection(worker, deadline) as conn:
-                    reply = self._roundtrip(conn, wire.encode_heartbeat(), deadline)
-                kind, header, _ = self._decode(worker, reply)
-                if kind != "heartbeat_ack":
-                    raise RemoteProtocolError(
-                        f"worker {worker.label} answered {kind!r} to a heartbeat"
-                    )
+                    reply = self._roundtrip(conn, wire.encode_stats_request(), deadline)
+                    kind, header, _ = self._decode(worker, reply)
+                    if kind == "error":
+                        reply = self._roundtrip(conn, wire.encode_heartbeat(), deadline)
+                        kind, header, _ = self._decode(worker, reply)
+                        if kind != "heartbeat_ack":
+                            raise RemoteProtocolError(
+                                f"worker {worker.label} answered {kind!r} to a heartbeat"
+                            )
+                    elif kind != "stats_ack":
+                        raise RemoteProtocolError(
+                            f"worker {worker.label} answered {kind!r} to a stats probe"
+                        )
             except (RemoteTransportError, DeadlineExceeded, RemoteProtocolError):
                 self._mark_down(worker)
                 results[worker.label] = None

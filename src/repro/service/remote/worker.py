@@ -19,6 +19,10 @@ The server speaks the length-prefixed transport of
 * ``heartbeat`` — liveness probe; answered with ``heartbeat_ack`` carrying
   the live load counters (served / shed / inflight / pending), which clients
   use to evict dead workers and rebalance.
+* ``stats`` — explicit runtime-stats probe; answered with ``stats_ack``
+  carrying the same admission / served / shed counters.  This is the
+  control-plane read :meth:`RemoteBackend.check_workers` uses, kept separate
+  from the liveness heartbeat.
 * ``engine_call`` — one solver call, executed through the same
   :class:`~repro.service.distributed.backends.EngineCallRunner` the process
   pool uses (spec-resolved solvers, per-worker model memoisation with
@@ -232,6 +236,8 @@ class WorkerServer:
             return wire.encode_hello_ack(version, info=self.stats())
         if kind == "heartbeat":
             return wire.encode_heartbeat_ack(self.stats())
+        if kind == "stats":
+            return wire.encode_stats_ack(self.stats())
         if kind == "engine_call":
             return self._respond_engine_call(payload)
         return wire.encode_error(

@@ -6,11 +6,16 @@ import numpy as np
 import pytest
 
 from repro.core.features import (
+    MODEL_FEATURE_DIM,
     CompositeExtractor,
     GraphEncoderExtractor,
+    MemoisedExtractor,
     QuboStatisticsExtractor,
     TSPStatisticsExtractor,
     default_extractor_for,
+    model_feature_cache_clear,
+    model_feature_cache_info,
+    model_feature_vector,
 )
 from repro.problems.mvc.generator import RandomMVCConfig, generate_mvc_instance
 from repro.problems.mvc.qubo import MVCProblem
@@ -100,3 +105,78 @@ class TestOtherExtractors:
         assert isinstance(default_extractor_for(tsp_problems[0]), TSPStatisticsExtractor)
         mvc = MVCProblem(generate_mvc_instance(RandomMVCConfig(num_vertices=6), rng=0))
         assert isinstance(default_extractor_for(mvc), QuboStatisticsExtractor)
+
+
+class CountingExtractor(QuboStatisticsExtractor):
+    def __init__(self):
+        super().__init__()
+        self.calls = 0
+
+    def extract(self, problem):
+        self.calls += 1
+        return super().extract(problem)
+
+
+class TestMemoisedExtractor:
+    def test_repeat_extraction_hits_the_cache(self, tsp_problems):
+        inner = CountingExtractor()
+        memo = MemoisedExtractor(inner)
+        first = memo.extract(tsp_problems[0])
+        second = memo.extract(tsp_problems[0])
+        np.testing.assert_array_equal(first, second)
+        assert inner.calls == 1
+        info = memo.cache_info()
+        assert (info.hits, info.misses, info.currsize) == (1, 1, 1)
+
+    def test_distinct_instances_miss_independently(self, tsp_problems):
+        inner = CountingExtractor()
+        memo = MemoisedExtractor(inner)
+        for problem in tsp_problems:
+            memo.extract(problem)
+        assert inner.calls == len(tsp_problems)
+        assert memo.cache_info().currsize == len(tsp_problems)
+
+    def test_cached_result_is_a_private_copy(self, tsp_problems):
+        memo = MemoisedExtractor(CountingExtractor())
+        first = memo.extract(tsp_problems[0])
+        first[:] = -1.0
+        assert not np.array_equal(memo.extract(tsp_problems[0]), first)
+
+    def test_eviction_honours_maxsize(self, tsp_problems):
+        memo = MemoisedExtractor(CountingExtractor(), maxsize=2)
+        for problem in tsp_problems:  # three distinct instances, capacity two
+            memo.extract(problem)
+        assert memo.cache_info().currsize == 2
+
+    def test_dim_passthrough(self, tsp_problems):
+        inner = CountingExtractor()
+        assert MemoisedExtractor(inner).dim == inner.dim
+
+    def test_cache_clear_resets_counters(self, tsp_problems):
+        memo = MemoisedExtractor(CountingExtractor())
+        memo.extract(tsp_problems[0])
+        memo.cache_clear()
+        info = memo.cache_info()
+        assert (info.hits, info.misses, info.currsize) == (0, 0, 0)
+
+
+class TestModelFeatureVector:
+    def test_shape_and_finiteness(self):
+        from repro.qubo.model import random_qubo
+
+        features = model_feature_vector(random_qubo(12, rng=3))
+        assert features.shape == (MODEL_FEATURE_DIM,)
+        assert np.all(np.isfinite(features))
+
+    def test_repeat_lookup_is_a_cache_hit(self):
+        from repro.qubo.model import random_qubo
+
+        model = random_qubo(10, rng=7)
+        model_feature_cache_clear()
+        first = model_feature_vector(model)
+        before = model_feature_cache_info()
+        second = model_feature_vector(model)
+        after = model_feature_cache_info()
+        np.testing.assert_array_equal(first, second)
+        assert after.hits == before.hits + 1
+        assert after.misses == before.misses

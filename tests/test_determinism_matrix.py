@@ -40,6 +40,14 @@ LIGHT_OPTIONS = {
     "qbsolv": "max_rounds=2&subsolver_config.num_steps=30",
     "qa": "base_config.num_sweeps=8",
     "random": None,
+    # Composite backend: members are URL-escaped nested specs
+    # (sa?num_sweeps=8 and tabu?num_steps=40).  The portfolio fans its member
+    # slices out through a private in-process service, so running *it* on the
+    # process/remote axes exercises portfolio-inside-worker determinism.
+    "portfolio": (
+        "members=sa%3Fnum_sweeps%3D8,tabu%3Fnum_steps%3D40"
+        "&strategy=ucb&sweep_budget=24&round_sweeps=8"
+    ),
 }
 
 #: Extra non-default configurations whose determinism matters enough to pin

@@ -179,6 +179,16 @@ class TestControlPlaneFrames:
         assert kind == "heartbeat_ack"
         assert header["stats"]["served"] == 7
 
+    def test_stats_frames_roundtrip(self):
+        kind, header, _ = wire.decode_frame(wire.encode_stats_request({"who": "ci"}))
+        assert kind == "stats"
+        assert header["info"] == {"who": "ci"}
+        kind, header, _ = wire.decode_frame(
+            wire.encode_stats_ack({"served": 3, "shed": 1})
+        )
+        assert kind == "stats_ack"
+        assert header["stats"] == {"served": 3, "shed": 1}
+
     def test_error_frame_roundtrip(self):
         kind, header, _ = wire.decode_frame(
             wire.encode_error("overloaded", "full", retryable=True)
@@ -208,6 +218,21 @@ class TestWorkerServer:
         assert kind == "hello_ack"
         assert header["protocol_version"] == wire.PROTOCOL_VERSION
         assert header["info"]["pid"] == os.getpid()
+
+    def test_stats_request_answered_with_counters(self, worker):
+        with _connect(worker) as conn:
+            kind, header, _ = _ask(conn, wire.encode_stats_request())
+        assert kind == "stats_ack"
+        stats = header["stats"]
+        for key in (
+            "served",
+            "shed",
+            "solve_errors",
+            "inflight",
+            "max_concurrency",
+            "max_pending",
+        ):
+            assert key in stats
 
     def test_version_mismatch_is_a_typed_error(self, worker):
         with _connect(worker) as conn:
@@ -497,6 +522,19 @@ class TestRemoteBackendClient:
             assert health[live_label]["max_concurrency"] == live.max_concurrency
             assert health[dead_label] is None
             assert backend.stats()["workers"][dead_label]["healthy"] is False
+            backend.close()
+
+    def test_check_workers_surfaces_served_and_shed_counters(self, model):
+        with WorkerServer() as server:
+            backend = RemoteBackend(workers=[server.address], **FAST)
+            before = backend.check_workers(timeout=2.0)
+            label = f"{server.address[0]}:{server.address[1]}"
+            assert before[label]["served"] == 0
+            backend.run(model, make_solver(SPEC), 2, 1)
+            after = backend.check_workers(timeout=2.0)
+            assert after[label]["served"] == 1
+            assert after[label]["shed"] == 0
+            assert after[label]["solve_errors"] == 0
             backend.close()
 
     def test_worker_list_parsing(self, monkeypatch):

@@ -44,7 +44,16 @@ def problem() -> TSPProblem:
 # ---------------------------------------------------------------------- registry
 class TestSolverRegistry:
     def test_every_backend_registered(self):
-        assert SolverRegistry.names() == ("da", "pt", "qa", "qbsolv", "random", "sa", "tabu")
+        assert SolverRegistry.names() == (
+            "da",
+            "portfolio",
+            "pt",
+            "qa",
+            "qbsolv",
+            "random",
+            "sa",
+            "tabu",
+        )
 
     @pytest.mark.parametrize(
         "spec, expected_cls",
