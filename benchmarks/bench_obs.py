@@ -1,0 +1,128 @@
+"""Benchmark: telemetry overhead — tracing must cost ≤2% of solve throughput.
+
+Two sections:
+
+* **Overhead** — the same stream of seeded solves is pushed through a
+  :class:`SolveService` with tracing off and with tracing on (every request
+  emitting its full span tree to a JSONL sink).  Each mode runs
+  ``TRIALS`` interleaved passes and the best wall time per mode is compared;
+  interleaving and best-of de-noise machine jitter so the ratio measures the
+  instrumentation itself.  The run *asserts* the ratio stays within the 2%
+  budget — a regression that makes tracing expensive fails the benchmark, not
+  just a dashboard.
+* **Trace shape** — one traced solve through a loopback remote fleet, with
+  the resulting stitched tree rendered by ``python -m repro.obs.report``
+  embedded in the report, so the committed artefact documents what a trace
+  actually looks like.
+
+Run with ``pytest benchmarks/bench_obs.py``; the rendered report lands in
+``benchmarks/results/bench_obs.txt``.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import time
+
+from repro import obs
+from repro.obs import report as obs_report
+from repro.qubo.model import random_qubo
+from repro.service.remote import RemoteBackend, WorkerServer
+from repro.service.requests import SolveRequest
+from repro.service.service import SolveService
+
+SOLVER_SPEC = "sa?num_sweeps=200"
+MODEL_SIZE = 32
+NUM_READS = 4
+REQUESTS = 24
+TRIALS = 3
+OVERHEAD_BUDGET = 1.02  # traced wall time may be at most 2% above untraced
+
+
+def _drive(model, trace_sink) -> float:
+    """One pass of REQUESTS distinct seeded solves; returns the wall time."""
+    if trace_sink is None:
+        obs.reset_tracing()
+    else:
+        obs.configure_tracing(trace_sink)
+    try:
+        with SolveService(max_workers=2) as service:
+            started = time.perf_counter()
+            futures = [
+                service.submit(
+                    SolveRequest(
+                        solver=SOLVER_SPEC, model=model, num_reads=NUM_READS, seed=seed
+                    )
+                )
+                for seed in range(REQUESTS)
+            ]
+            for future in futures:
+                future.result()
+            return time.perf_counter() - started
+    finally:
+        obs.reset_tracing()
+
+
+def test_tracing_overhead(record_report, tmp_path):
+    model = random_qubo(MODEL_SIZE, rng=13)
+    off_walls, on_walls = [], []
+    # Warm-up pass outside the measurement (imports, pool spin-up, JIT-warm
+    # caches); then interleave the modes so drift hits both equally.
+    _drive(model, None)
+    for trial in range(TRIALS):
+        off_walls.append(_drive(model, None))
+        on_walls.append(_drive(model, tmp_path / f"trace-{trial}.jsonl"))
+    best_off, best_on = min(off_walls), min(on_walls)
+    ratio = best_on / best_off
+
+    events = [
+        json.loads(line)
+        for line in open(tmp_path / f"trace-{TRIALS - 1}.jsonl")
+    ]
+    spans_per_request = len(events) / REQUESTS
+
+    lines = [
+        f"telemetry overhead — {REQUESTS} seeded solves ({SOLVER_SPEC}, "
+        f"n={MODEL_SIZE}, num_reads={NUM_READS}), best of {TRIALS} "
+        f"interleaved trials per mode",
+        "",
+        f"{'mode':>12} {'wall s':>8} {'req/s':>8}",
+        f"{'tracing off':>12} {best_off:>8.3f} {REQUESTS / best_off:>8.1f}",
+        f"{'tracing on':>12} {best_on:>8.3f} {REQUESTS / best_on:>8.1f}",
+        "",
+        f"overhead ratio: {ratio:.4f} (budget {OVERHEAD_BUDGET:.2f}), "
+        f"{spans_per_request:.1f} spans emitted per request",
+    ]
+    record_report("bench_obs", "\n".join(lines))
+    assert ratio <= OVERHEAD_BUDGET, (
+        f"tracing overhead {100 * (ratio - 1):.1f}% exceeds the "
+        f"{100 * (OVERHEAD_BUDGET - 1):.0f}% budget "
+        f"(off {best_off:.3f}s, on {best_on:.3f}s)"
+    )
+
+
+def test_remote_trace_tree_renders(record_report, tmp_path):
+    sink = tmp_path / "remote-trace.jsonl"
+    model = random_qubo(MODEL_SIZE, rng=13)
+    obs.configure_tracing(sink)
+    try:
+        with WorkerServer() as server:
+            backend = RemoteBackend(workers=[server.address])
+            with obs.span("client"):
+                with SolveService(backend=backend, max_workers=1) as service:
+                    service.solve(model, solver=SOLVER_SPEC, num_reads=NUM_READS, seed=3)
+            backend.close()
+    finally:
+        obs.reset_tracing()
+
+    events = [json.loads(line) for line in open(sink)]
+    assert len({event["trace_id"] for event in events}) == 1, "tree did not stitch"
+
+    rendered = io.StringIO()
+    assert obs_report.render_report(str(sink), rendered) == 0
+    record_report(
+        "bench_obs_trace",
+        "one seeded remote solve, stitched and rendered by "
+        "python -m repro.obs.report:\n\n" + rendered.getvalue().rstrip(),
+    )

@@ -1,0 +1,373 @@
+"""Process-wide metrics registry: named counters, gauges and histograms.
+
+This is the *substrate* under every ``stats()`` readout in the library — the
+solve service, the admission gates, the remote fleet client, the worker
+control plane and the cache tiers all count into one registry, so a single
+snapshot answers "what has this process done" without chasing four divergent
+ad-hoc dicts.  The registry is always live (an increment is one short
+lock-guarded integer add — the same cost the ad-hoc counters already paid);
+the ``QROSS_METRICS`` environment variable additionally dumps a
+Prometheus-text snapshot to a file at interpreter exit.
+
+Key schema (``qross.stats/1``)
+------------------------------
+Metric names follow Prometheus conventions — ``qross_<component>_<what>`` with
+``_total`` on monotonic counters and ``_seconds`` on latency histograms;
+low-cardinality dimensions are labels:
+
+========================================  =====================================
+``qross_admission_admitted_total``        work units admitted past a gate
+``qross_admission_shed_total``            work units shed at a gate bound
+``qross_admission_pending``               gauge: admitted-but-unfinished units
+(labels)                                  ``component="service"|"worker"``
+``qross_service_tasks_total``             settled service tasks
+(labels)                                  ``outcome="served"|"failed"``
+``qross_service_request_seconds``         request latency histogram
+(labels)                                  ``path="seeded"|"unseeded"|"merged"``
+``qross_cache_lookups_total``             cache probe outcomes
+(labels)                                  ``cache="call"|"sharded"``,
+                                          ``result="hit"|"miss"``
+``qross_cache_evictions_total``           LRU evictions (``cache="call"``)
+``qross_cache_corrupt_removed_total``     corrupt disk entries dropped
+``qross_remote_requests_total``           remote engine calls attempted
+``qross_remote_served_total``             remote engine calls answered
+``qross_remote_transport_retries_total``  retries after transport failures
+``qross_remote_overload_retries_total``   retries after worker sheds
+``qross_remote_model_reships_total``      full payload re-sends after ref miss
+``qross_remote_dials_total``              fresh TCP connects + handshakes
+``qross_remote_fallback_total``           unserialisable-solver local runs
+``qross_remote_rpc_seconds``              one-attempt round-trip latency
+``qross_worker_served_total``             engine calls a worker executed
+``qross_worker_solve_errors_total``       engine calls that raised
+``qross_worker_solve_seconds``            worker-side solve latency
+``qross_engine_sample_seconds``           end-to-end ``solver.sample`` latency
+(labels)                                  ``solver=<registry name>``
+``qross_engine_sweeps_per_second``        profiled sweep throughput (opt-in)
+``qross_engine_sweep_acceptance``         per-sweep flip acceptance (opt-in)
+``qross_engine_swap_acceptance``          PT ladder swap acceptance (opt-in)
+``qross_portfolio_rounds_total``          portfolio scheduling rounds
+``qross_portfolio_slices_total``          member budget slices dispatched
+``qross_portfolio_cancellations_total``   members cancelled by the strategy
+========================================  =====================================
+
+The legacy per-instance ``stats()`` dicts remain (their old keys are aliases
+for one release — see the ``schema`` field they now carry); the registry is
+the cross-instance, cross-component aggregate.
+
+Everything here is stdlib-only and RNG-free: observing a metric can never
+perturb a seeded solve.
+"""
+
+from __future__ import annotations
+
+import atexit
+import bisect
+import math
+import os
+import threading
+from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple
+
+#: Environment variable naming a file that receives a Prometheus-text snapshot
+#: of the registry at interpreter exit (unset = no dump; the registry itself
+#: is always live).
+METRICS_ENV = "QROSS_METRICS"
+
+#: Version tag of the unified stats key schema carried by every ``stats()``
+#: dict that has been migrated onto the registry.
+STATS_SCHEMA = "qross.stats/1"
+
+#: Latency histogram buckets (seconds): microbenchmark floor to minutes-long
+#: solves.  Explicit buckets keep ``observe`` allocation-free and O(log n).
+LATENCY_BUCKETS = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 120.0, 300.0,
+)
+
+#: Buckets for rates in [0, 1] (acceptance / swap rates).
+RATE_BUCKETS = (0.01, 0.02, 0.05, 0.1, 0.2, 0.3, 0.5, 0.7, 0.9, 1.0)
+
+LabelsLike = Optional[Mapping[str, str]]
+
+
+def _label_key(labels: LabelsLike) -> Tuple[Tuple[str, str], ...]:
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _render_labels(items: Sequence[Tuple[str, str]], extra: str = "") -> str:
+    parts = [f'{k}="{v}"' for k, v in items]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+class Counter:
+    """Monotonic counter.  ``inc`` is one lock-guarded add — safe anywhere."""
+
+    kind = "counter"
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a gauge for deltas")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Gauge:
+    """A value that goes up and down (pending work, pool sizes)."""
+
+    kind = "gauge"
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Histogram:
+    """Explicit-bucket histogram (cumulative, Prometheus-style exposition).
+
+    ``observe`` is a binary search plus three lock-guarded adds — cheap enough
+    for per-request latency recording on the hot path.
+    """
+
+    kind = "histogram"
+
+    def __init__(self, buckets: Sequence[float] = LATENCY_BUCKETS) -> None:
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise ValueError("a histogram needs at least one bucket bound")
+        if any(not math.isfinite(b) for b in bounds):
+            raise ValueError("bucket bounds must be finite (+Inf is implicit)")
+        self.bounds = bounds
+        self._lock = threading.Lock()
+        # One slot per finite bound plus the implicit +Inf overflow slot.
+        self._counts = [0] * (len(bounds) + 1)
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        index = bisect.bisect_left(self.bounds, value)
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += value
+            self._count += 1
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    def bucket_counts(self) -> Tuple[int, ...]:
+        """Per-bucket (non-cumulative) counts, overflow slot last."""
+        with self._lock:
+            return tuple(self._counts)
+
+
+class MetricsRegistry:
+    """Named metric families, each fanning out over label sets.
+
+    ``counter``/``gauge``/``histogram`` are get-or-create: the first call
+    registers the family (name, kind, help), later calls return the existing
+    instance for the given label set.  Re-registering a name under a different
+    kind is an error — it would render an unreadable exposition.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        # name -> (kind, help, {label_key: metric})
+        self._families: Dict[str, Tuple[str, str, Dict[tuple, object]]] = {}
+
+    def _get(self, name: str, kind: str, help: str, labels: LabelsLike, factory):
+        key = _label_key(labels)
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                family = (kind, help, {})
+                self._families[name] = family
+            elif family[0] != kind:
+                raise ValueError(
+                    f"metric {name!r} is already registered as a {family[0]}, "
+                    f"cannot re-register as a {kind}"
+                )
+            metric = family[2].get(key)
+            if metric is None:
+                metric = factory()
+                family[2][key] = metric
+            return metric
+
+    def counter(self, name: str, labels: LabelsLike = None, help: str = "") -> Counter:
+        return self._get(name, "counter", help, labels, Counter)
+
+    def gauge(self, name: str, labels: LabelsLike = None, help: str = "") -> Gauge:
+        return self._get(name, "gauge", help, labels, Gauge)
+
+    def histogram(
+        self,
+        name: str,
+        labels: LabelsLike = None,
+        buckets: Sequence[float] = LATENCY_BUCKETS,
+        help: str = "",
+    ) -> Histogram:
+        metric = self._get(name, "histogram", help, labels, lambda: Histogram(buckets))
+        if metric.bounds != tuple(sorted(float(b) for b in buckets)):
+            raise ValueError(
+                f"histogram {name!r} already exists with different buckets"
+            )
+        return metric
+
+    # ------------------------------------------------------------------ readouts
+    def snapshot(self) -> Dict[str, float]:
+        """Flat ``{name{labels}: value}`` view (histograms expand to _count/_sum).
+
+        Values are plain floats/ints, so a snapshot is JSON-serialisable —
+        this is what remote workers ship in their ``stats_ack`` frames.
+        """
+        out: Dict[str, float] = {}
+        with self._lock:
+            families = [
+                (name, kind, dict(children))
+                for name, (kind, _, children) in self._families.items()
+            ]
+        for name, kind, children in families:
+            for key, metric in children.items():
+                suffix = _render_labels(key)
+                if kind == "histogram":
+                    out[f"{name}_count{suffix}"] = metric.count
+                    out[f"{name}_sum{suffix}"] = metric.sum
+                else:
+                    out[f"{name}{suffix}"] = metric.value
+        return out
+
+    def render_prometheus(self) -> str:
+        """The registry in the Prometheus text exposition format."""
+        lines = []
+        with self._lock:
+            families = [
+                (name, kind, help, dict(children))
+                for name, (kind, help, children) in sorted(self._families.items())
+            ]
+        for name, kind, help, children in families:
+            if help:
+                lines.append(f"# HELP {name} {help}")
+            lines.append(f"# TYPE {name} {kind}")
+            for key in sorted(children):
+                metric = children[key]
+                if kind == "histogram":
+                    cumulative = 0
+                    counts = metric.bucket_counts()
+                    for bound, count in zip(metric.bounds, counts):
+                        cumulative += count
+                        labels = _render_labels(key, f'le="{bound:g}"')
+                        lines.append(f"{name}_bucket{labels} {cumulative}")
+                    cumulative += counts[-1]
+                    labels = _render_labels(key, 'le="+Inf"')
+                    lines.append(f"{name}_bucket{labels} {cumulative}")
+                    lines.append(f"{name}_sum{_render_labels(key)} {metric.sum:g}")
+                    lines.append(f"{name}_count{_render_labels(key)} {metric.count}")
+                else:
+                    lines.append(f"{name}{_render_labels(key)} {metric.value:g}")
+        return "\n".join(lines) + "\n"
+
+    def reset(self) -> None:
+        """Drop every family.  For *private* registries in tests only — never
+        call this on the global registry: modules hold direct references to
+        its metric objects, which a reset would silently orphan."""
+        with self._lock:
+            self._families.clear()
+
+
+# ------------------------------------------------------------- global registry
+_REGISTRY = MetricsRegistry()
+_exporter_installed = False
+_exporter_lock = threading.Lock()
+
+
+def registry() -> MetricsRegistry:
+    """The process-wide registry every library component counts into."""
+    _maybe_install_exporter()
+    return _REGISTRY
+
+
+def counter(name: str, labels: LabelsLike = None, help: str = "") -> Counter:
+    return registry().counter(name, labels=labels, help=help)
+
+
+def gauge(name: str, labels: LabelsLike = None, help: str = "") -> Gauge:
+    return registry().gauge(name, labels=labels, help=help)
+
+
+def histogram(
+    name: str,
+    labels: LabelsLike = None,
+    buckets: Sequence[float] = LATENCY_BUCKETS,
+    help: str = "",
+) -> Histogram:
+    return registry().histogram(name, labels=labels, buckets=buckets, help=help)
+
+
+def metrics_snapshot() -> Dict[str, float]:
+    """Flat snapshot of the global registry (JSON-safe)."""
+    return registry().snapshot()
+
+
+def render_prometheus() -> str:
+    """Prometheus-text exposition of the global registry."""
+    return registry().render_prometheus()
+
+
+def write_prometheus(path: "str | os.PathLike") -> None:
+    """Write the exposition snapshot atomically (temp file + ``os.replace``)."""
+    from repro.utils.io import atomic_write_bytes
+
+    atomic_write_bytes(path, render_prometheus().encode("utf-8"))
+
+
+def _maybe_install_exporter() -> None:
+    """Install the at-exit ``QROSS_METRICS`` file dump once, lazily."""
+    global _exporter_installed
+    if _exporter_installed:
+        return
+    with _exporter_lock:
+        if _exporter_installed:
+            return
+        _exporter_installed = True
+        target = os.environ.get(METRICS_ENV, "").strip()
+        if target and target.lower() not in ("0", "false", "off"):
+            @atexit.register
+            def _dump() -> None:  # pragma: no cover - interpreter teardown
+                try:
+                    write_prometheus(target)
+                except Exception:
+                    pass

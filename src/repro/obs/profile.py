@@ -1,0 +1,140 @@
+"""Opt-in engine profiling: per-sweep rate/acceptance samples, RNG-neutral.
+
+``QROSS_ENGINE_PROFILE=1`` makes the annealing solvers attach a
+:class:`SweepProfiler` to their :class:`~repro.solvers.engine.AnnealingState`.
+The engine's block-flip mutator then counts proposed/accepted flips into it,
+the solver marks sweep boundaries and (for parallel tempering) ladder swap
+rounds, and ``finish()`` both publishes the samples to the metrics registry
+(``qross_engine_sweeps_per_second`` / ``qross_engine_sweep_acceptance`` /
+``qross_engine_swap_acceptance`` histograms) and returns a summary dict that
+the solvers merge into the sample-set info under ``"engine_profile"``.
+
+The profiler observes only *counts* (sizes of accept masks the solver computed
+anyway) and the wall clock — it never draws randomness and never changes what
+the kernels compute, so seeded results are byte-identical with profiling on or
+off.  When disabled (the default), the cost inside the engine is a single
+``is None`` attribute test per block.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Any, Dict, Optional
+
+from repro.obs import metrics
+
+#: Environment switch: "1"/"true"/"on"/"yes" attach a profiler per solve.
+PROFILE_ENV = "QROSS_ENGINE_PROFILE"
+
+#: Sweep-throughput buckets (sweeps/second) spanning huge dense instances
+#: (~1/s) to tiny test models (tens of thousands/s).
+SWEEP_RATE_BUCKETS = (
+    1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0,
+    1000.0, 2000.0, 5000.0, 10000.0, 20000.0, 50000.0,
+)
+
+
+def profiling_enabled() -> bool:
+    return os.environ.get(PROFILE_ENV, "").strip().lower() in ("1", "true", "on", "yes")
+
+
+def engine_profiler(solver: str) -> Optional["SweepProfiler"]:
+    """A fresh profiler when ``QROSS_ENGINE_PROFILE`` is on, else ``None``.
+
+    Solvers attach the result directly to ``state.profiler`` — ``None`` keeps
+    the engine on its zero-overhead path.
+    """
+    return SweepProfiler(solver) if profiling_enabled() else None
+
+
+class SweepProfiler:
+    """Accumulates flip/swap statistics for one solver invocation.
+
+    Not thread-safe and not meant to be: each solve owns one instance, used
+    from the single thread driving its sweep loop.
+    """
+
+    def __init__(self, solver: str) -> None:
+        self.solver = solver
+        self._rate_hist = metrics.histogram(
+            "qross_engine_sweeps_per_second",
+            labels={"solver": solver},
+            buckets=SWEEP_RATE_BUCKETS,
+            help="Profiled sweep throughput per solve (opt-in)",
+        )
+        self._accept_hist = metrics.histogram(
+            "qross_engine_sweep_acceptance",
+            labels={"solver": solver},
+            buckets=metrics.RATE_BUCKETS,
+            help="Per-sweep fraction of proposed flips accepted (opt-in)",
+        )
+        self._swap_hist = metrics.histogram(
+            "qross_engine_swap_acceptance",
+            labels={"solver": solver},
+            buckets=metrics.RATE_BUCKETS,
+            help="Per-round PT ladder swap acceptance (opt-in)",
+        )
+        self._sweeps = 0
+        self._sweep_seconds = 0.0
+        self._proposed = 0
+        self._accepted = 0
+        self._sweep_proposed = 0
+        self._sweep_accepted = 0
+        self._swap_proposed = 0
+        self._swap_accepted = 0
+        self._t_sweep = time.perf_counter()
+
+    # ------------------------------------------------------- engine-side hook
+    def count_flips(self, proposed: int, accepted: int) -> None:
+        """Fold one block application's proposal/accept counts in.
+
+        Called by ``AnnealingState.apply_block_flips`` whenever a profiler is
+        attached; ``proposed`` is the accept-mask size, ``accepted`` its true
+        count.
+        """
+        self._sweep_proposed += proposed
+        self._sweep_accepted += accepted
+
+    # ------------------------------------------------------- solver-side hooks
+    def end_sweep(self) -> None:
+        """Mark a sweep boundary: sample throughput and acceptance."""
+        now = time.perf_counter()
+        dur = now - self._t_sweep
+        self._t_sweep = now
+        self._sweeps += 1
+        self._sweep_seconds += dur
+        if dur > 0:
+            self._rate_hist.observe(1.0 / dur)
+        if self._sweep_proposed:
+            self._accept_hist.observe(self._sweep_accepted / self._sweep_proposed)
+        self._proposed += self._sweep_proposed
+        self._accepted += self._sweep_accepted
+        self._sweep_proposed = 0
+        self._sweep_accepted = 0
+
+    def record_swap_round(self, proposed: int, accepted: int) -> None:
+        """Record one parallel-tempering neighbour-swap round."""
+        self._swap_proposed += proposed
+        self._swap_accepted += accepted
+        if proposed:
+            self._swap_hist.observe(accepted / proposed)
+
+    def finish(self) -> Dict[str, Any]:
+        """Summary for the sample-set info (``info["engine_profile"]``)."""
+        out: Dict[str, Any] = {
+            "solver": self.solver,
+            "sweeps": self._sweeps,
+            "sweep_seconds": self._sweep_seconds,
+            "sweeps_per_second": (
+                self._sweeps / self._sweep_seconds if self._sweep_seconds > 0 else 0.0
+            ),
+            "flips_proposed": self._proposed,
+            "flips_accepted": self._accepted,
+            "flip_acceptance": (self._accepted / self._proposed if self._proposed else 0.0),
+        }
+        if self._swap_proposed:
+            out["swaps_proposed"] = self._swap_proposed
+            out["swaps_accepted"] = self._swap_accepted
+            out["swap_acceptance"] = self._swap_accepted / self._swap_proposed
+        return out

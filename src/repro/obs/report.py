@@ -1,0 +1,176 @@
+"""Render a JSONL trace sink into per-span latency breakdowns.
+
+Usage::
+
+    python -m repro.obs.report qross-trace.jsonl            # all traces
+    python -m repro.obs.report qross-trace.jsonl --trace ID # one tree
+    python -m repro.obs.report qross-trace.jsonl --summary  # aggregates only
+
+For every trace the tool stitches the spans into a tree by ``parent_id`` —
+spans emitted by different threads and different *processes* (worker spans
+arrive via the wire-propagated trace context) interleave into one view:
+
+.. code-block:: text
+
+    trace 1f2e3d4c5b6a7988
+    └─ service.solve                          41.8ms
+       └─ remote.run                          41.2ms  worker=127.0.0.1:7071
+          └─ remote.rpc                       40.9ms
+             └─ worker.request                39.6ms
+                ├─ worker.queue_wait           0.1ms
+                └─ worker.solve               39.1ms
+                   └─ engine.sample           38.7ms  solver=sa
+
+followed by an aggregate table (count / total / mean / p50 / max per span
+name).  Everything is stdlib-only; malformed lines are counted and skipped.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Dict, Iterable, List, Optional, TextIO
+
+
+def load_events(path: str) -> tuple[List[Dict[str, Any]], int]:
+    """Parse a trace sink; returns ``(events, skipped_line_count)``."""
+    events: List[Dict[str, Any]] = []
+    skipped = 0
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError:
+                skipped += 1
+                continue
+            if not isinstance(event, dict) or "span_id" not in event or "name" not in event:
+                skipped += 1
+                continue
+            events.append(event)
+    return events, skipped
+
+
+def build_trees(events: Iterable[Dict[str, Any]]) -> Dict[str, List[Dict[str, Any]]]:
+    """Group events by trace and attach ``children`` lists by ``parent_id``.
+
+    Returns ``{trace_id: [root_event, ...]}``; spans whose parent never made
+    it into the sink (e.g. a worker trace whose client wrote elsewhere) are
+    promoted to roots rather than dropped.  Children sort by start time.
+    """
+    by_trace: Dict[str, List[Dict[str, Any]]] = {}
+    for event in events:
+        by_trace.setdefault(str(event.get("trace_id")), []).append(event)
+    trees: Dict[str, List[Dict[str, Any]]] = {}
+    for trace_id, spans in by_trace.items():
+        by_id = {span["span_id"]: span for span in spans}
+        roots: List[Dict[str, Any]] = []
+        for span in spans:
+            span.setdefault("children", [])
+            parent = by_id.get(span.get("parent_id"))
+            if parent is None or parent is span:
+                roots.append(span)
+            else:
+                parent.setdefault("children", []).append(span)
+        for span in spans:
+            span["children"].sort(key=lambda s: s.get("ts", 0.0))
+        roots.sort(key=lambda s: s.get("ts", 0.0))
+        trees[trace_id] = roots
+    return trees
+
+
+def _format_duration(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.2f}s"
+    return f"{seconds * 1000.0:.1f}ms"
+
+
+def _format_attrs(span: Dict[str, Any]) -> str:
+    parts = [f"{k}={v}" for k, v in (span.get("attrs") or {}).items()]
+    if span.get("error"):
+        parts.append(f"ERROR[{span['error']}]")
+    return "  ".join(parts)
+
+
+def render_tree(
+    roots: List[Dict[str, Any]], out: TextIO, indent: str = "", name_width: int = 36
+) -> None:
+    for index, span in enumerate(roots):
+        last = index == len(roots) - 1
+        branch = "└─ " if last else "├─ " if indent or len(roots) > 1 else "└─ "
+        label = f"{indent}{branch}{span.get('name', '?')}"
+        dur = _format_duration(float(span.get("dur_s", 0.0)))
+        attrs = _format_attrs(span)
+        line = f"{label:<{name_width}} {dur:>8}"
+        if attrs:
+            line += f"  {attrs}"
+        print(line, file=out)
+        child_indent = indent + ("   " if last else "│  ")
+        render_tree(span.get("children", []), out, child_indent, name_width)
+
+
+def render_summary(events: List[Dict[str, Any]], out: TextIO) -> None:
+    by_name: Dict[str, List[float]] = {}
+    for event in events:
+        by_name.setdefault(str(event.get("name", "?")), []).append(
+            float(event.get("dur_s", 0.0))
+        )
+    print(f"{'span':<28} {'count':>6} {'total':>9} {'mean':>9} {'p50':>9} {'max':>9}", file=out)
+    for name in sorted(by_name, key=lambda n: -sum(by_name[n])):
+        durs = sorted(by_name[name])
+        total = sum(durs)
+        p50 = durs[len(durs) // 2]
+        print(
+            f"{name:<28} {len(durs):>6} {_format_duration(total):>9} "
+            f"{_format_duration(total / len(durs)):>9} {_format_duration(p50):>9} "
+            f"{_format_duration(durs[-1]):>9}",
+            file=out,
+        )
+
+
+def render_report(
+    path: str,
+    out: TextIO,
+    trace_id: Optional[str] = None,
+    summary_only: bool = False,
+) -> int:
+    try:
+        events, skipped = load_events(path)
+    except OSError as exc:
+        print(f"cannot read {path}: {exc}", file=out)
+        return 1
+    if trace_id is not None:
+        events = [e for e in events if e.get("trace_id") == trace_id]
+    if not events:
+        print(f"no trace events in {path}" + (f" for trace {trace_id}" if trace_id else ""), file=out)
+        return 1
+    if not summary_only:
+        for tid, roots in build_trees(events).items():
+            print(f"trace {tid}", file=out)
+            render_tree(roots, out)
+            print("", file=out)
+    render_summary(events, out)
+    if skipped:
+        print(f"\n({skipped} malformed line(s) skipped)", file=out)
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.report",
+        description="Render a QROSS JSONL trace file into span trees and latency aggregates.",
+    )
+    parser.add_argument("path", help="trace sink (JSONL, one span per line)")
+    parser.add_argument("--trace", help="restrict to one trace id")
+    parser.add_argument(
+        "--summary", action="store_true", help="aggregate table only, no trees"
+    )
+    args = parser.parse_args(argv)
+    return render_report(args.path, sys.stdout, trace_id=args.trace, summary_only=args.summary)
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    raise SystemExit(main())

@@ -1,0 +1,310 @@
+"""Structured tracer: line-atomic JSONL spans with cross-process propagation.
+
+A *span* is one timed operation — a service request, a remote dial, a worker
+queue wait, an engine run.  Spans nest: each carries a ``trace_id`` shared by
+the whole request and a ``parent_id`` naming its enclosing span, so a trace
+file stitches into a tree even when the spans were emitted by different
+threads **or different processes on different machines** (the ids ride the
+engine-call wire header — see :func:`wire_context` / :func:`adopt_wire_context`
+and ``service/distributed/wire.py``).
+
+Design constraints, in order:
+
+1. **Off means free.** Tracing is disabled unless ``QROSS_TRACE`` is set (or
+   :func:`configure_tracing` is called).  When disabled, ``span()`` returns a
+   single shared no-op context manager — no allocation, no clock read, no
+   branch beyond one ``is None`` check.
+2. **Byte-identity-neutral.** Ids come from ``os.urandom`` and timing from
+   ``time.time``/``perf_counter`` — the tracer never touches a numpy
+   ``Generator`` or the stdlib ``random`` module state, so seeded solves are
+   byte-identical with tracing on or off (CI runs a canary leg proving it).
+3. **Line-atomic concurrent appends.** Every span is ONE json line written
+   with ONE ``os.write`` on an ``O_APPEND`` descriptor — the same discipline
+   as ``portfolio/outcomes.py`` — so any number of threads and worker
+   processes can share one sink without interleaving bytes.
+
+Event schema (one JSON object per line)::
+
+    {"trace_id": "16-hex", "span_id": "16-hex", "parent_id": "16-hex"|null,
+     "name": "worker.solve", "ts": <epoch float, span start>,
+     "dur_s": <float>, "pid": <int>, "attrs": {...}, "error": "Type: msg"?}
+
+Render a sink with ``python -m repro.obs.report trace.jsonl``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from typing import Any, Dict, Mapping, Optional
+
+#: Environment switch.  Unset/"0"/"false"/"off" → disabled.  "1"/"true"/
+#: "on"/"yes" → enabled, writing to ``qross-trace.jsonl`` in the CWD.  Any
+#: other value is taken as the sink path itself.
+TRACE_ENV = "QROSS_TRACE"
+
+DEFAULT_TRACE_PATH = "qross-trace.jsonl"
+
+_TRUTHY = ("1", "true", "on", "yes")
+_FALSY = ("", "0", "false", "off", "no")
+
+
+class TraceContext:
+    """An active (trace_id, span_id) pair — what a child span attaches to."""
+
+    __slots__ = ("trace_id", "span_id")
+
+    def __init__(self, trace_id: str, span_id: str) -> None:
+        self.trace_id = trace_id
+        self.span_id = span_id
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"TraceContext(trace_id={self.trace_id!r}, span_id={self.span_id!r})"
+
+
+class _Local(threading.local):
+    context: Optional[TraceContext] = None
+
+
+_local = _Local()
+
+
+def _new_id() -> str:
+    # os.urandom, never numpy/stdlib random: ids must not perturb any seeded
+    # stream (determinism contract).
+    return os.urandom(8).hex()
+
+
+class Tracer:
+    """Owns the sink fd and emits finished spans as single atomic writes."""
+
+    def __init__(self, path: "str | os.PathLike") -> None:
+        self.path = os.fspath(path)
+        parent = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(parent, exist_ok=True)
+        # O_APPEND + one os.write per line == atomic interleaving across
+        # threads AND processes (POSIX appends are atomic per write).
+        self._fd = os.open(self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+
+    def emit(self, event: Dict[str, Any]) -> None:
+        # After a fork the inherited fd is still valid and still O_APPEND,
+        # but the cached pid would be stale — re-read it per event.
+        event["pid"] = os.getpid()
+        line = json.dumps(event, separators=(",", ":"), default=str) + "\n"
+        os.write(self._fd, line.encode("utf-8"))
+
+    def close(self) -> None:
+        try:
+            os.close(self._fd)
+        except OSError:  # pragma: no cover - double close
+            pass
+
+
+class _Span:
+    """Context manager timing one operation and emitting it on exit."""
+
+    __slots__ = ("_tracer", "name", "attrs", "_ctx", "_prev", "_ts", "_t0")
+
+    def __init__(self, tracer: Tracer, name: str, attrs: Dict[str, Any]) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.attrs = attrs
+
+    def set(self, **attrs: Any) -> None:
+        """Attach attributes discovered mid-span (e.g. the chosen worker)."""
+        self.attrs.update(attrs)
+
+    @property
+    def context(self) -> TraceContext:
+        return self._ctx
+
+    def __enter__(self) -> "_Span":
+        parent = _local.context
+        trace_id = parent.trace_id if parent is not None else _new_id()
+        self._ctx = TraceContext(trace_id, _new_id())
+        self._prev = parent
+        _local.context = self._ctx
+        self._ts = time.time()
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        dur = time.perf_counter() - self._t0
+        _local.context = self._prev
+        event: Dict[str, Any] = {
+            "trace_id": self._ctx.trace_id,
+            "span_id": self._ctx.span_id,
+            "parent_id": self._prev.span_id if self._prev is not None else None,
+            "name": self.name,
+            "ts": self._ts,
+            "dur_s": dur,
+        }
+        if self.attrs:
+            event["attrs"] = self.attrs
+        if exc is not None:
+            event["error"] = f"{type(exc).__name__}: {exc}"
+        self._tracer.emit(event)
+        return False
+
+
+class _NoopSpan:
+    """Shared do-nothing span: the entire cost of tracing-off."""
+
+    __slots__ = ()
+    context = None
+
+    def set(self, **attrs: Any) -> None:
+        pass
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NOOP_SPAN = _NoopSpan()
+
+# Module tracer state: None = disabled, Tracer = enabled.  ``_configured``
+# distinguishes "never looked at the env yet" from "explicitly configured".
+_tracer: Optional[Tracer] = None
+_configured = False
+_config_lock = threading.Lock()
+
+
+def _env_trace_path() -> Optional[str]:
+    raw = os.environ.get(TRACE_ENV, "").strip()
+    if raw.lower() in _FALSY:
+        return None
+    if raw.lower() in _TRUTHY:
+        return DEFAULT_TRACE_PATH
+    return raw
+
+
+def _ensure_configured() -> Optional[Tracer]:
+    global _tracer, _configured
+    if _configured:
+        return _tracer
+    with _config_lock:
+        if not _configured:
+            path = _env_trace_path()
+            _tracer = Tracer(path) if path is not None else None
+            _configured = True
+    return _tracer
+
+
+def configure_tracing(path: "str | os.PathLike | None") -> None:
+    """Enable tracing to ``path`` (or disable with ``None``), overriding env."""
+    global _tracer, _configured
+    with _config_lock:
+        if _tracer is not None:
+            _tracer.close()
+        _tracer = Tracer(path) if path is not None else None
+        _configured = True
+
+
+def reset_tracing() -> None:
+    """Back to unconfigured: the next span re-reads ``QROSS_TRACE``."""
+    global _tracer, _configured
+    with _config_lock:
+        if _tracer is not None:
+            _tracer.close()
+        _tracer = None
+        _configured = False
+    _local.context = None
+
+
+def tracing_enabled() -> bool:
+    return _ensure_configured() is not None
+
+
+def trace_path() -> Optional[str]:
+    """The active sink path, or None when tracing is off."""
+    tracer = _ensure_configured()
+    return tracer.path if tracer is not None else None
+
+
+def span(name: str, **attrs: Any) -> "_Span | _NoopSpan":
+    """A timed span context manager; a shared no-op when tracing is off.
+
+    >>> with span("service.solve", solver="sa", seed=7) as sp:
+    ...     sp.set(cache="miss")
+    ...     ...
+    """
+    tracer = _ensure_configured()
+    if tracer is None:
+        return _NOOP_SPAN
+    return _Span(tracer, name, attrs)
+
+
+# ------------------------------------------------------ context manipulation
+def current_context() -> Optional[TraceContext]:
+    """The innermost active span's context on this thread, if any."""
+    return _local.context
+
+
+class _UseContext:
+    __slots__ = ("_ctx", "_prev")
+
+    def __init__(self, ctx: Optional[TraceContext]) -> None:
+        self._ctx = ctx
+
+    def __enter__(self) -> Optional[TraceContext]:
+        self._prev = _local.context
+        _local.context = self._ctx
+        return self._ctx
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        _local.context = self._prev
+        return False
+
+
+def use_context(ctx: Optional[TraceContext]) -> _UseContext:
+    """Activate ``ctx`` on this thread for the body of a ``with`` block.
+
+    Used to carry a request's context onto pool threads: capture
+    ``current_context()`` at submit time, re-activate it inside the task.
+    """
+    return _UseContext(ctx)
+
+
+# --------------------------------------------------------- wire propagation
+def wire_context() -> Optional[Dict[str, str]]:
+    """The current context as a wire-header payload, or None.
+
+    Returns None when tracing is off or no span is active, so callers can
+    leave the optional ``trace`` header field out entirely (old workers never
+    see an unfamiliar key; new workers skip the adopt branch).
+    """
+    if not tracing_enabled():
+        return None
+    ctx = _local.context
+    if ctx is None:
+        return None
+    return {"trace_id": ctx.trace_id, "span_id": ctx.span_id}
+
+
+def context_from_wire(payload: Optional[Mapping[str, Any]]) -> Optional[TraceContext]:
+    """Parse a ``trace`` header field back into a context (None-tolerant)."""
+    if not payload:
+        return None
+    trace_id = payload.get("trace_id")
+    span_id = payload.get("span_id")
+    if not isinstance(trace_id, str) or not isinstance(span_id, str):
+        return None
+    return TraceContext(trace_id, span_id)
+
+
+def adopt_wire_context(payload: Optional[Mapping[str, Any]]) -> _UseContext:
+    """``use_context`` for a context received over the wire.
+
+    Only adopts when no span is already active on this thread — when the
+    remote worker's request span has already re-rooted the tree, the
+    engine-call runner must nest under it rather than re-adopt the client's
+    (already-ancestral) context and fork a second branch.
+    """
+    if _local.context is not None:
+        return _UseContext(_local.context)
+    return _UseContext(context_from_wire(payload))

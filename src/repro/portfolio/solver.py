@@ -38,6 +38,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.core.features import model_feature_vector
 from repro.portfolio.members import (
     budget_field,
@@ -250,52 +251,75 @@ class PortfolioSolver(QUBOSolver):
             if not clipped:
                 break
 
-            submitted = []
-            for spec, slice_budget in clipped:
-                seed = int(member_streams[spec].integers(0, 2**63 - 1))
-                request = SolveRequest(
-                    solver=slice_solver(members[spec], slice_budget),
-                    model=model,
-                    num_reads=reads,
-                    seed=seed,
-                    label=f"portfolio:{spec}",
-                )
-                submitted.append((spec, slice_budget, service.submit(request)))
-
-            outcomes: List[SliceOutcome] = []
-            for spec, slice_budget, future in submitted:  # fixed order, not completion
-                samples = future.result().samples
-                start = spent
-                spent += slice_budget
-                remaining -= slice_budget
-                member_budget[spec] += slice_budget
-                num_slices += 1
-                best = float(np.min(samples.energies))
-                improved = best < incumbent
-                if improved:
-                    slice_traj = samples.info.get("best_energy_trajectory")
-                    if slice_traj:
-                        for index, energy in enumerate(slice_traj):
-                            energy = float(energy)
-                            if energy < incumbent:
-                                incumbent = energy
-                                trajectory.append([start + index + 1, energy])
-                    # Members without trajectories charge the whole slice.
-                    if best < incumbent:
-                        incumbent = best
-                        trajectory.append([start + slice_budget, best])
-                sample_sets.append(samples)
-                outcomes.append(
-                    SliceOutcome(
-                        spec=spec,
-                        budget=float(slice_budget),
-                        best_energy=best,
-                        improved=improved,
-                        round_index=rounds,
-                        cumulative_budget=spent,
+            # The round span wraps submission, so the member slices' own
+            # service.solve spans (captured at submit time) nest under it.
+            with obs.span(
+                "portfolio.round",
+                strategy=cfg.strategy,
+                round=rounds,
+                allocation=",".join(f"{spec}:{budget}" for spec, budget in clipped),
+            ) as round_span:
+                submitted = []
+                for spec, slice_budget in clipped:
+                    seed = int(member_streams[spec].integers(0, 2**63 - 1))
+                    request = SolveRequest(
+                        solver=slice_solver(members[spec], slice_budget),
+                        model=model,
+                        num_reads=reads,
+                        seed=seed,
+                        label=f"portfolio:{spec}",
                     )
-                )
-            strategy.observe_round(outcomes)
+                    submitted.append((spec, slice_budget, service.submit(request)))
+
+                outcomes: List[SliceOutcome] = []
+                for spec, slice_budget, future in submitted:  # fixed order, not completion
+                    with obs.span(
+                        "portfolio.slice", member=spec, budget=slice_budget
+                    ) as slice_span:
+                        samples = future.result().samples
+                        best = float(np.min(samples.energies))
+                        slice_span.set(best_energy=best, improved=best < incumbent)
+                    start = spent
+                    spent += slice_budget
+                    remaining -= slice_budget
+                    member_budget[spec] += slice_budget
+                    num_slices += 1
+                    obs.counter(
+                        "qross_portfolio_slices_total",
+                        labels={"member": spec},
+                        help="Member slices the portfolio scheduler dispatched",
+                    ).inc()
+                    improved = best < incumbent
+                    if improved:
+                        slice_traj = samples.info.get("best_energy_trajectory")
+                        if slice_traj:
+                            for index, energy in enumerate(slice_traj):
+                                energy = float(energy)
+                                if energy < incumbent:
+                                    incumbent = energy
+                                    trajectory.append([start + index + 1, energy])
+                        # Members without trajectories charge the whole slice.
+                        if best < incumbent:
+                            incumbent = best
+                            trajectory.append([start + slice_budget, best])
+                    sample_sets.append(samples)
+                    outcomes.append(
+                        SliceOutcome(
+                            spec=spec,
+                            budget=float(slice_budget),
+                            best_energy=best,
+                            improved=improved,
+                            round_index=rounds,
+                            cumulative_budget=spent,
+                        )
+                    )
+                strategy.observe_round(outcomes)
+                round_span.set(budget_spent=spent, best_energy=incumbent)
+            obs.counter(
+                "qross_portfolio_rounds_total",
+                labels={"strategy": cfg.strategy},
+                help="Strategy rounds the portfolio scheduler completed",
+            ).inc()
             rounds += 1
             if deadline is not None and time.monotonic() >= deadline:
                 break
@@ -321,6 +345,11 @@ class PortfolioSolver(QUBOSolver):
         cancelled = getattr(strategy, "cancelled", ())
         if cancelled:
             info["portfolio_cancelled"] = list(cancelled)
+            obs.counter(
+                "qross_portfolio_cancellations_total",
+                labels={"strategy": cfg.strategy},
+                help="Members cancelled by the portfolio strategy",
+            ).inc(len(cancelled))
         if cfg.track_trajectory:
             info["portfolio_trajectory"] = [
                 [float(b), float(e)] for b, e in trajectory

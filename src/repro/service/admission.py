@@ -24,6 +24,8 @@ import os
 import threading
 from typing import Dict, Optional
 
+from repro import obs
+
 #: Environment variable bounding the default :class:`SolveService` queue depth
 #: (unset = unbounded, preserving the historical behaviour).
 MAX_PENDING_ENV = "QROSS_MAX_PENDING"
@@ -56,6 +58,26 @@ class AdmissionGate:
         self._peak_pending = 0
         self._admitted = 0
         self._shed = 0
+        # Registry mirrors, labelled by the gate's component (the first word
+        # of its name — "service", "worker", ... — so per-instance suffixes
+        # like a worker's host:port never explode label cardinality).  The
+        # exact per-gate numbers stay in the counters above.
+        component = (name.split() or ["service"])[0]
+        self._admitted_metric = obs.counter(
+            "qross_admission_admitted_total",
+            labels={"component": component},
+            help="Work units admitted past an admission gate",
+        )
+        self._shed_metric = obs.counter(
+            "qross_admission_shed_total",
+            labels={"component": component},
+            help="Work units shed at an admission gate bound",
+        )
+        self._pending_gauge = obs.gauge(
+            "qross_admission_pending",
+            labels={"component": component},
+            help="Admitted-but-unfinished work units",
+        )
 
     # ---------------------------------------------------------------- admission
     def try_acquire(self) -> bool:
@@ -63,12 +85,19 @@ class AdmissionGate:
         with self._lock:
             if self.max_pending is not None and self._pending >= self.max_pending:
                 self._shed += 1
-                return False
-            self._pending += 1
-            self._admitted += 1
-            if self._pending > self._peak_pending:
-                self._peak_pending = self._pending
-            return True
+                shed = True
+            else:
+                self._pending += 1
+                self._admitted += 1
+                if self._pending > self._peak_pending:
+                    self._peak_pending = self._pending
+                shed = False
+        if shed:
+            self._shed_metric.inc()
+            return False
+        self._admitted_metric.inc()
+        self._pending_gauge.inc()
+        return True
 
     def acquire(self) -> None:
         """Admit one unit of work or raise :class:`ServiceOverloaded`."""
@@ -84,6 +113,7 @@ class AdmissionGate:
             if self._pending <= 0:
                 raise RuntimeError(f"{self.name}: release() without a matching acquire()")
             self._pending -= 1
+        self._pending_gauge.dec()
 
     # ------------------------------------------------------------------ readouts
     @property
@@ -92,15 +122,25 @@ class AdmissionGate:
             return self._pending
 
     def stats(self) -> Dict[str, Optional[int]]:
-        """Counter snapshot: admitted / completed / pending / peak / shed."""
+        """Counter snapshot: admitted / completed / pending / peak / shed.
+
+        Keys follow the unified :data:`repro.obs.STATS_SCHEMA` (canonical
+        ``*_total`` names plus ``pending``/``peak_pending``); the historical
+        bare names (``admitted``/``completed``/``shed``) remain as aliases
+        for one release.
+        """
         with self._lock:
             return {
+                "schema": obs.STATS_SCHEMA,
                 "max_pending": self.max_pending,
                 "admitted": self._admitted,
                 "completed": self._admitted - self._pending,
                 "pending": self._pending,
                 "peak_pending": self._peak_pending,
                 "shed": self._shed,
+                "admitted_total": self._admitted,
+                "completed_total": self._admitted - self._pending,
+                "shed_total": self._shed,
             }
 
 

@@ -33,6 +33,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import TYPE_CHECKING, Dict, Optional, Tuple
 
+from repro import obs
 from repro.utils.io import atomic_write_bytes
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (distributed imports us)
@@ -118,6 +119,22 @@ class SolverCallCache:
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
+        # Process-wide registry mirrors of the per-instance counters above.
+        self._hit_metric = obs.counter(
+            "qross_cache_lookups_total",
+            labels={"cache": "call", "result": "hit"},
+            help="Solver-call cache lookups by outcome",
+        )
+        self._miss_metric = obs.counter(
+            "qross_cache_lookups_total",
+            labels={"cache": "call", "result": "miss"},
+            help="Solver-call cache lookups by outcome",
+        )
+        self._evict_metric = obs.counter(
+            "qross_cache_evictions_total",
+            labels={"cache": "call"},
+            help="Sample-set entries evicted at the LRU bound",
+        )
 
     # ----------------------------------------------------------------- keying
     @staticmethod
@@ -167,17 +184,21 @@ class SolverCallCache:
             entry = self._entries.get(key)
             if entry is not None:
                 self.hits += 1
+                self._hit_metric.inc()
                 return entry
             if not self.persist_evaluations:
                 self.misses += 1
+                self._miss_metric.inc()
                 return None
         # Disk I/O happens outside the lock; a hit re-populates memory.
         entry = self.persistent.lookup_evaluation(key)
         with self._lock:
             if entry is None:
                 self.misses += 1
+                self._miss_metric.inc()
             else:
                 self.hits += 1
+                self._hit_metric.inc()
                 self._entries[key] = entry
         return entry
 
@@ -193,17 +214,21 @@ class SolverCallCache:
             samples = self._samples.get(key)
             if samples is not None:
                 self.hits += 1
+                self._hit_metric.inc()
                 self._samples.move_to_end(key)
                 return samples
             if self.persistent is None:
                 self.misses += 1
+                self._miss_metric.inc()
                 return None
         samples = self.persistent.lookup_samples(key)
         with self._lock:
             if samples is None:
                 self.misses += 1
+                self._miss_metric.inc()
             else:
                 self.hits += 1
+                self._hit_metric.inc()
                 self._store_samples_locked(key, samples)
         return samples
 
@@ -218,6 +243,7 @@ class SolverCallCache:
         self._samples.move_to_end(key)
         while len(self._samples) > self.max_sample_entries:
             self._samples.popitem(last=False)
+            self._evict_metric.inc()
 
     def evaluate(
         self,

@@ -42,12 +42,14 @@ import abc
 import atexit
 import os
 import threading
+import time
 from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
 from typing import Dict, Optional, Tuple, Union
 
 import numpy as np
 
+from repro import obs
 from repro.qubo.model import QUBOModel
 from repro.qubo.sampleset import SampleSet
 from repro.service.executor import default_worker_count
@@ -213,6 +215,10 @@ class EngineCallRunner:
         self._model_limit = model_limit
         self._solver_limit = solver_limit
         self._lock = threading.Lock()
+        self._solve_seconds = obs.histogram(
+            "qross_worker_solve_seconds",
+            help="Worker-side engine-call execution latency",
+        )
 
     def _resolve_model(self, header: dict, buffers) -> Optional[QUBOModel]:
         ref = header.get("model_ref")
@@ -245,19 +251,29 @@ class EngineCallRunner:
         return solver
 
     def execute(self, payload: bytes) -> bytes:
-        """One engine-call frame -> a sample-set (or ``model_miss``) frame."""
+        """One engine-call frame -> a sample-set (or ``model_miss``) frame.
+
+        When the frame carries a propagated ``trace`` context (protocol ≥ 2)
+        the solve runs under it, so worker-side spans stitch into the calling
+        client's trace tree.
+        """
         from repro.service.distributed import wire
 
         _, header, buffers = wire.decode_frame(payload, expected_kind="engine_call")
         model = self._resolve_model(header, buffers)
         if model is None:
             return wire.encode_model_miss(str(header["model_ref"]))
-        solver = self._resolve_solver(str(header["solver_spec"]))
-        samples = solver.sample(
-            model,
-            num_reads=int(header["num_reads"]),
-            rng=np.random.default_rng(int(header["seed"])),
-        )
+        spec = str(header["solver_spec"])
+        solver = self._resolve_solver(spec)
+        started = time.perf_counter()
+        with obs.adopt_wire_context(header.get("trace")):
+            with obs.span("worker.solve", solver_spec=spec, num_reads=int(header["num_reads"])):
+                samples = solver.sample(
+                    model,
+                    num_reads=int(header["num_reads"]),
+                    rng=np.random.default_rng(int(header["seed"])),
+                )
+        self._solve_seconds.observe(time.perf_counter() - started)
         return wire.encode_sample_set(samples)
 
 
@@ -421,14 +437,17 @@ class ProcessPoolBackend(ExecutionBackend):
             try_ref = fingerprint in self._shipped_models
             if try_ref:
                 self._shipped_models.move_to_end(fingerprint)
+        trace = obs.wire_context()
         if try_ref:
-            payload = wire.encode_engine_call_ref(fingerprint, spec, num_reads, int(seed))
+            payload = wire.encode_engine_call_ref(
+                fingerprint, spec, num_reads, int(seed), trace=trace
+            )
             samples = self._dispatch(payload)
             if samples is not None:
                 return samples
             # The serving worker did not hold the model (different worker,
             # eviction, restart): fall through and ship it in full.
-        payload = wire.encode_engine_call(model, spec, num_reads, int(seed))
+        payload = wire.encode_engine_call(model, spec, num_reads, int(seed), trace=trace)
         samples = self._dispatch(payload)
         if samples is None:
             raise RuntimeError("worker answered model_miss to a full engine call")

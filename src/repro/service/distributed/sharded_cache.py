@@ -39,6 +39,7 @@ import time
 from pathlib import Path
 from typing import List, Optional, Tuple
 
+from repro import obs
 from repro.qubo.sampleset import SampleSet
 from repro.service.cache import CachedEvaluation
 from repro.utils.io import atomic_write_bytes
@@ -67,6 +68,22 @@ class ShardedResultCache:
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
+        # Process-wide registry mirrors of the per-instance counters above.
+        self._hit_metric = obs.counter(
+            "qross_cache_lookups_total",
+            labels={"cache": "sharded", "result": "hit"},
+            help="Sharded disk-cache lookups by outcome",
+        )
+        self._miss_metric = obs.counter(
+            "qross_cache_lookups_total",
+            labels={"cache": "sharded", "result": "miss"},
+            help="Sharded disk-cache lookups by outcome",
+        )
+        self._corrupt_metric = obs.counter(
+            "qross_cache_corrupt_removed_total",
+            labels={"cache": "sharded"},
+            help="Corrupt/truncated disk entries removed on read",
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return f"ShardedResultCache(root={str(self.root)!r})"
@@ -82,9 +99,11 @@ class ShardedResultCache:
         except OSError:
             with self._lock:
                 self.misses += 1
+            self._miss_metric.inc()
             return None
         with self._lock:
             self.hits += 1
+        self._hit_metric.inc()
         return data
 
     def _drop_corrupt(self, path: Path) -> None:
@@ -96,6 +115,10 @@ class ShardedResultCache:
         with self._lock:
             self.hits -= 1
             self.misses += 1
+        # Registry counters are monotonic, so the premature hit inc cannot be
+        # reversed; the corrupt-removed counter is the correction signal.
+        self._miss_metric.inc()
+        self._corrupt_metric.inc()
 
     # ------------------------------------------------------------- sample sets
     def lookup_samples(self, key: str) -> Optional[SampleSet]:

@@ -39,10 +39,18 @@ FORMAT_VERSION = 1
 #: heartbeat / engine-call exchange), negotiated per connection via the hello
 #: frames below.  Distinct from :data:`FORMAT_VERSION`, which versions the
 #: byte layout of a single frame.
-PROTOCOL_VERSION = 1
+#:
+#: Version history:
+#:   1 — initial remote-farm protocol (hello / heartbeat / stats / engine call).
+#:   2 — engine-call frames may carry an optional ``trace`` header field
+#:       (propagated telemetry context) and stats-acks may carry a
+#:       ``metrics`` snapshot.  Both are additive JSON keys that version-1
+#:       peers never read, so 1 and 2 interoperate freely; the bump exists so
+#:       fleets can *detect* telemetry-capable peers.
+PROTOCOL_VERSION = 2
 #: Protocol versions this build can speak (negotiation picks the highest
 #: version both peers support).
-SUPPORTED_PROTOCOL_VERSIONS = (PROTOCOL_VERSION,)
+SUPPORTED_PROTOCOL_VERSIONS = (1, PROTOCOL_VERSION)
 
 _PREFIX = struct.Struct("<4sBI")  # magic, format version, header length
 
@@ -168,7 +176,11 @@ def decode_sample_set(data: bytes) -> SampleSet:
 
 
 def encode_engine_call(
-    model: QUBOModel, solver_spec: str, num_reads: int, seed: int
+    model: QUBOModel,
+    solver_spec: str,
+    num_reads: int,
+    seed: int,
+    trace: Optional[dict] = None,
 ) -> bytes:
     """One engine call: the resolved model, a solver spec, reads and a seed.
 
@@ -176,6 +188,11 @@ def encode_engine_call(
     always concrete by the time a call is encoded — the service derives child
     seeds for unseeded requests before dispatch, so the worker simply runs
     ``solver.sample(model, num_reads, rng=default_rng(seed))``.
+
+    ``trace`` is the caller's telemetry context (``repro.obs.wire_context()``;
+    protocol ≥ 2): an optional ``{"trace_id", "span_id"}`` dict the receiving
+    worker re-activates so its spans stitch under the caller's.  ``None``
+    omits the field entirely; version-1 decoders never read it.
     """
     model_header, buffers = model.to_wire()
     header = {
@@ -184,11 +201,17 @@ def encode_engine_call(
         "seed": int(seed),
         "model": model_header,
     }
+    if trace is not None:
+        header["trace"] = dict(trace)
     return encode_frame("engine_call", header, buffers)
 
 
 def encode_engine_call_ref(
-    fingerprint: str, solver_spec: str, num_reads: int, seed: int
+    fingerprint: str,
+    solver_spec: str,
+    num_reads: int,
+    seed: int,
+    trace: Optional[dict] = None,
 ) -> bytes:
     """An engine call referencing a model by fingerprint instead of shipping it.
 
@@ -196,6 +219,8 @@ def encode_engine_call_ref(
     model only pays the model transfer once per worker; a worker that does
     not hold the fingerprint answers with a ``model_miss`` frame
     (:func:`encode_model_miss`) and the caller retries with the full payload.
+    ``trace`` propagates the telemetry context exactly as in
+    :func:`encode_engine_call`.
     """
     header = {
         "solver_spec": str(solver_spec),
@@ -203,6 +228,8 @@ def encode_engine_call_ref(
         "seed": int(seed),
         "model_ref": str(fingerprint),
     }
+    if trace is not None:
+        header["trace"] = dict(trace)
     return encode_frame("engine_call", header)
 
 

@@ -47,6 +47,7 @@ from collections import OrderedDict
 from contextlib import contextmanager
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
+from repro import obs
 from repro.qubo.model import QUBOModel
 from repro.qubo.sampleset import SampleSet
 from repro.service.admission import ServiceOverloaded
@@ -203,6 +204,21 @@ class RemoteBackend(ExecutionBackend):
             "model_reships": 0,
             "dials": 0,
         }
+        # Per-instance exact counts stay in ``_counters`` (``stats()`` reads
+        # them); the process-wide registry aggregates the same events across
+        # every backend instance in the process.
+        self._metrics = {
+            key: obs.counter(
+                "qross_remote_fallback_total"
+                if key == "fallback_in_process"
+                else f"qross_remote_{key}_total"
+            )
+            for key in self._counters
+        }
+        self._rpc_seconds = obs.histogram(
+            "qross_remote_rpc_seconds",
+            help="Single-attempt remote engine-call round-trip latency",
+        )
 
     # ----------------------------------------------------------------- lifecycle
     def close(self) -> None:
@@ -233,46 +249,52 @@ class RemoteBackend(ExecutionBackend):
             # discipline on every backend).
             with self._lock:
                 self._counters["fallback_in_process"] += 1
+            self._metrics["fallback_in_process"].inc()
             return self._fallback.run(model, solver, num_reads, seed)
         with self._lock:
             if self._closed:
                 raise RuntimeError("RemoteBackend is closed")
             self._counters["requests"] += 1
+        self._metrics["requests"].inc()
         deadline = (
             None
             if self.request_timeout is None
             else time.monotonic() + self.request_timeout
         )
         last_error: Optional[Exception] = None
-        for attempt in range(self.retries + 1):
-            self._check_deadline(deadline)
-            worker = self._pick_worker()
-            try:
-                samples = self._dispatch_once(
-                    worker, model, spec, num_reads, seed, deadline
-                )
-            except RemoteTransportError as exc:
-                self._mark_down(worker)
-                last_error = exc
-                counter = "transport_retries"
-            except _OverloadedSignal as exc:
-                # The worker is alive, just saturated: do not cool it down,
-                # just back off and spread the next attempt over the fleet.
-                last_error = ServiceOverloaded(
-                    f"worker {worker.label} shed the call: {exc}"
-                )
-                counter = "overload_retries"
-            else:
-                self._mark_healthy(worker)
-                with self._lock:
-                    self._counters["served"] += 1
-                return samples
-            if attempt < self.retries:
-                with self._lock:
-                    self._counters[counter] += 1
-                self._backoff(attempt, deadline)
-        assert last_error is not None
-        raise last_error
+        with obs.span("remote.run", solver_spec=spec, num_reads=int(num_reads)) as sp:
+            for attempt in range(self.retries + 1):
+                self._check_deadline(deadline)
+                worker = self._pick_worker()
+                try:
+                    samples = self._dispatch_once(
+                        worker, model, spec, num_reads, seed, deadline
+                    )
+                except RemoteTransportError as exc:
+                    self._mark_down(worker)
+                    last_error = exc
+                    counter = "transport_retries"
+                except _OverloadedSignal as exc:
+                    # The worker is alive, just saturated: do not cool it down,
+                    # just back off and spread the next attempt over the fleet.
+                    last_error = ServiceOverloaded(
+                        f"worker {worker.label} shed the call: {exc}"
+                    )
+                    counter = "overload_retries"
+                else:
+                    self._mark_healthy(worker)
+                    with self._lock:
+                        self._counters["served"] += 1
+                    self._metrics["served"].inc()
+                    sp.set(worker=worker.label, attempts=attempt + 1)
+                    return samples
+                if attempt < self.retries:
+                    with self._lock:
+                        self._counters[counter] += 1
+                    self._metrics[counter].inc()
+                    self._backoff(attempt, deadline)
+            assert last_error is not None
+            raise last_error
 
     def _dispatch_once(
         self,
@@ -289,13 +311,22 @@ class RemoteBackend(ExecutionBackend):
             try_ref = fingerprint in worker.shipped
             if try_ref:
                 worker.shipped.move_to_end(fingerprint)
-        with self._connection(worker, deadline) as conn:
+        started = time.perf_counter()
+        # The rpc span opens *before* the trace context is captured for the
+        # wire, so the worker's spans stitch under this attempt (not under
+        # the whole retry loop).
+        with obs.span("remote.rpc", worker=worker.label) as sp, self._connection(
+            worker, deadline
+        ) as conn:
+            trace = obs.wire_context()
             if try_ref:
                 payload = wire.encode_engine_call_ref(
-                    fingerprint, spec, num_reads, int(seed)
+                    fingerprint, spec, num_reads, int(seed), trace=trace
                 )
             else:
-                payload = wire.encode_engine_call(model, spec, num_reads, int(seed))
+                payload = wire.encode_engine_call(
+                    model, spec, num_reads, int(seed), trace=trace
+                )
             reply = self._roundtrip(conn, payload, deadline)
             kind, header, buffers = self._decode(worker, reply)
             if kind == "model_miss" and try_ref:
@@ -304,9 +335,11 @@ class RemoteBackend(ExecutionBackend):
                 with self._lock:
                     worker.shipped.pop(fingerprint, None)
                     self._counters["model_reships"] += 1
+                self._metrics["model_reships"].inc()
+                sp.set(model_reshipped=True)
                 reply = self._roundtrip(
                     conn,
-                    wire.encode_engine_call(model, spec, num_reads, int(seed)),
+                    wire.encode_engine_call(model, spec, num_reads, int(seed), trace=trace),
                     deadline,
                 )
                 kind, header, buffers = self._decode(worker, reply)
@@ -317,6 +350,7 @@ class RemoteBackend(ExecutionBackend):
                     while len(worker.shipped) > _WORKER_MODEL_LIMIT:
                         worker.shipped.popitem(last=False)
                     worker.served += 1
+                self._rpc_seconds.observe(time.perf_counter() - started)
                 return SampleSet.from_wire(header, buffers)
             if kind == "error":
                 self._raise_for_error(worker, header)
@@ -453,37 +487,39 @@ class RemoteBackend(ExecutionBackend):
         timeout = self.connect_timeout
         if deadline is not None:
             timeout = min(timeout, self._remaining(deadline))
-        try:
-            conn = socket.create_connection(worker.address, timeout=timeout)
-        except (OSError, socket.timeout) as exc:
-            raise RemoteTransportError(
-                f"cannot connect to worker {worker.label}: {exc}"
-            ) from exc
-        with self._lock:
-            self._counters["dials"] += 1
-        try:
-            conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-            reply = self._roundtrip(conn, wire.encode_hello(), deadline, io_timeout=timeout)
-            kind, header, _ = self._decode(worker, reply)
-            if kind == "error":
-                self._raise_for_error(worker, header)
-            if kind != "hello_ack":
-                raise RemoteProtocolError(
-                    f"worker {worker.label} answered {kind!r} to hello"
-                )
-            version = int(header.get("protocol_version", -1))
-            if version not in wire.SUPPORTED_PROTOCOL_VERSIONS:
-                raise RemoteProtocolError(
-                    f"worker {worker.label} negotiated unsupported protocol "
-                    f"version {version}"
-                )
-            return conn
-        except BaseException:
+        with obs.span("remote.dial", worker=worker.label):
             try:
-                conn.close()
-            except OSError:
-                pass
-            raise
+                conn = socket.create_connection(worker.address, timeout=timeout)
+            except (OSError, socket.timeout) as exc:
+                raise RemoteTransportError(
+                    f"cannot connect to worker {worker.label}: {exc}"
+                ) from exc
+            with self._lock:
+                self._counters["dials"] += 1
+            self._metrics["dials"].inc()
+            try:
+                conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+                reply = self._roundtrip(conn, wire.encode_hello(), deadline, io_timeout=timeout)
+                kind, header, _ = self._decode(worker, reply)
+                if kind == "error":
+                    self._raise_for_error(worker, header)
+                if kind != "hello_ack":
+                    raise RemoteProtocolError(
+                        f"worker {worker.label} answered {kind!r} to hello"
+                    )
+                version = int(header.get("protocol_version", -1))
+                if version not in wire.SUPPORTED_PROTOCOL_VERSIONS:
+                    raise RemoteProtocolError(
+                        f"worker {worker.label} negotiated unsupported protocol "
+                        f"version {version}"
+                    )
+                return conn
+            except BaseException:
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+                raise
 
     def _roundtrip(
         self,
@@ -532,11 +568,18 @@ class RemoteBackend(ExecutionBackend):
         if deadline is not None:
             delay = min(delay, max(0.0, deadline - time.monotonic()))
         if delay > 0:
-            time.sleep(delay)
+            with obs.span("remote.backoff", attempt=attempt + 1):
+                time.sleep(delay)
 
     # ------------------------------------------------------------------ readouts
     def stats(self) -> dict:
-        """Counter snapshot: traffic, retries and per-worker health."""
+        """Counter snapshot: traffic, retries and per-worker health.
+
+        Keys follow the unified :data:`repro.obs.STATS_SCHEMA` (canonical
+        ``*_total`` names); the historical bare names (``requests``,
+        ``served``, ``fallback_in_process``, ...) remain as aliases for one
+        release.
+        """
         with self._lock:
             now = time.monotonic()
             data = dict(self._counters)
@@ -550,4 +593,29 @@ class RemoteBackend(ExecutionBackend):
                 }
                 for w in self._workers
             }
+        data["schema"] = obs.STATS_SCHEMA
+        data["requests_total"] = data["requests"]
+        data["served_total"] = data["served"]
+        data["fallback_total"] = data["fallback_in_process"]
+        data["transport_retries_total"] = data["transport_retries"]
+        data["overload_retries_total"] = data["overload_retries"]
+        data["model_reships_total"] = data["model_reships"]
+        data["dials_total"] = data["dials"]
         return data
+
+    def fleet_metrics(self, timeout: Optional[float] = None) -> Dict[str, float]:
+        """Fleet-wide metric totals, summed over every answering worker.
+
+        Probes the fleet via :meth:`check_workers` and folds the ``metrics``
+        registry snapshot each protocol-≥2 worker ships in its ``stats_ack``
+        into one ``{metric_name: total}`` dict.  Pre-telemetry workers (no
+        ``metrics`` field) simply contribute nothing.
+        """
+        totals: Dict[str, float] = {}
+        for stats in self.check_workers(timeout=timeout).values():
+            if not stats:
+                continue
+            for key, value in (stats.get("metrics") or {}).items():
+                if isinstance(value, (int, float)) and not isinstance(value, bool):
+                    totals[key] = totals.get(key, 0) + value
+        return totals

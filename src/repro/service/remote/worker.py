@@ -39,12 +39,14 @@ the worker never dies from a bad request.
 from __future__ import annotations
 
 import argparse
+import logging
 import os
 import socket
 import sys
 import threading
 from typing import Dict, List, Optional, Tuple
 
+from repro import obs
 from repro.service.admission import AdmissionGate
 from repro.service.distributed import wire
 from repro.service.distributed.backends import EngineCallRunner
@@ -54,6 +56,56 @@ from repro.service.remote.protocol import (
     recv_message,
     send_message,
 )
+
+#: Environment variable selecting the worker's stderr log level
+#: (``DEBUG``/``INFO``/``WARNING``/``ERROR``; default ``WARNING``).  Logs go
+#: to stderr — stdout stays reserved for the contractual "listening" banner.
+LOG_LEVEL_ENV = "QROSS_LOG_LEVEL"
+
+logger = logging.getLogger("qross.worker")
+
+
+class StructuredFormatter(logging.Formatter):
+    """Append the record's ``extra=`` fields as trailing ``key=value`` pairs.
+
+    Keeps log lines grep-friendly without forcing call sites to interpolate
+    context into the message text.
+    """
+
+    _STANDARD = frozenset(
+        logging.LogRecord("", 0, "", 0, "", (), None).__dict__
+    ) | {"message", "asctime", "taskName"}
+
+    def format(self, record: logging.LogRecord) -> str:
+        base = super().format(record)
+        extras = {
+            key: value
+            for key, value in record.__dict__.items()
+            if key not in self._STANDARD
+        }
+        if extras:
+            base += " " + " ".join(f"{k}={v}" for k, v in sorted(extras.items()))
+        return base
+
+
+def configure_logging(level: Optional[str] = None) -> None:
+    """Install the structured stderr handler on the ``qross`` logger tree.
+
+    ``level`` overrides :data:`LOG_LEVEL_ENV`; an unknown name degrades to
+    ``WARNING`` rather than failing worker startup.
+    """
+    raw = (level or os.environ.get(LOG_LEVEL_ENV) or "WARNING").strip().upper()
+    resolved = getattr(logging, raw, None)
+    if not isinstance(resolved, int):
+        resolved = logging.WARNING
+    handler = logging.StreamHandler(sys.stderr)
+    handler.setFormatter(
+        StructuredFormatter("%(asctime)s %(levelname)s %(name)s %(message)s")
+    )
+    root = logging.getLogger("qross")
+    root.handlers[:] = [handler]
+    root.setLevel(resolved)
+    root.propagate = False
 
 
 class WorkerServer:
@@ -117,6 +169,14 @@ class WorkerServer:
         self._connections: Dict[socket.socket, threading.Thread] = {}
         self._served = 0
         self._errors = 0
+        # Exact per-server counts live above; the registry aggregates across
+        # every server in the process and travels in ``stats_ack`` frames.
+        self._served_metric = obs.counter(
+            "qross_worker_served_total", help="Engine calls this worker executed"
+        )
+        self._errors_metric = obs.counter(
+            "qross_worker_solve_errors_total", help="Engine calls that raised"
+        )
 
     # ----------------------------------------------------------------- lifecycle
     def start(self) -> "WorkerServer":
@@ -199,6 +259,11 @@ class WorkerServer:
 
     def _serve_connection(self, conn: socket.socket) -> None:
         try:
+            peer = "%s:%s" % conn.getpeername()[:2]
+        except OSError:
+            peer = "?"
+        logger.debug("connection opened", extra={"peer": peer})
+        try:
             conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
             while not self._closed.is_set():
                 try:
@@ -215,6 +280,7 @@ class WorkerServer:
             _close_socket(conn)
             with self._lock:
                 self._connections.pop(conn, None)
+            logger.debug("connection closed", extra={"peer": peer})
 
     def _respond(self, payload: bytes) -> bytes:
         """One request frame -> one response frame (never raises)."""
@@ -237,15 +303,25 @@ class WorkerServer:
         if kind == "heartbeat":
             return wire.encode_heartbeat_ack(self.stats())
         if kind == "stats":
-            return wire.encode_stats_ack(self.stats())
+            # The explicit stats probe additionally carries the process-wide
+            # metrics registry snapshot (protocol ≥ 2 clients aggregate it
+            # into fleet-wide metrics); heartbeats stay small.
+            return wire.encode_stats_ack(self.stats(include_metrics=True))
         if kind == "engine_call":
-            return self._respond_engine_call(payload)
+            return self._respond_engine_call(payload, header)
         return wire.encode_error(
             "unsupported", f"worker cannot handle {kind!r} frames", retryable=False
         )
 
-    def _respond_engine_call(self, payload: bytes) -> bytes:
+    def _respond_engine_call(self, payload: bytes, header: dict) -> bytes:
         if not self._gate.try_acquire():
+            logger.warning(
+                "call shed at admission bound",
+                extra={
+                    "max_concurrency": self.max_concurrency,
+                    "max_pending": self.max_pending,
+                },
+            )
             return wire.encode_error(
                 "overloaded",
                 f"worker at its admission bound "
@@ -253,14 +329,29 @@ class WorkerServer:
                 retryable=True,
             )
         try:
-            with self._slots:
-                response = self._runner.execute(payload)
+            # The request span adopts the client's wire-propagated trace
+            # context, so everything below (queue wait, the runner's
+            # worker.solve, the engine) stitches into the caller's tree.
+            with obs.adopt_wire_context(header.get("trace")):
+                with obs.span("worker.request", worker=f"{self.address[0]}:{self.address[1]}"):
+                    with obs.span("worker.queue_wait"):
+                        self._slots.acquire()
+                    try:
+                        response = self._runner.execute(payload)
+                    finally:
+                        self._slots.release()
             with self._lock:
                 self._served += 1
+            self._served_metric.inc()
             return response
         except Exception as exc:  # noqa: BLE001 - worker must not die on bad calls
             with self._lock:
                 self._errors += 1
+            self._errors_metric.inc()
+            logger.warning(
+                "engine call failed",
+                extra={"error_type": type(exc).__name__, "error": str(exc)},
+            )
             return wire.encode_error(
                 "solve_error", f"{type(exc).__name__}: {exc}", retryable=False
             )
@@ -268,12 +359,19 @@ class WorkerServer:
             self._gate.release()
 
     # ------------------------------------------------------------------ readouts
-    def stats(self) -> dict:
-        """Live load/health counters (also shipped in heartbeat acks)."""
+    def stats(self, include_metrics: bool = False) -> dict:
+        """Live load/health counters (also shipped in heartbeat acks).
+
+        Keys follow the unified :data:`repro.obs.STATS_SCHEMA` (canonical
+        ``*_total`` / ``pending`` names); the historical names (``served``,
+        ``solve_errors``, ``shed``, ``inflight``, ``peak_inflight``) remain as
+        aliases for one release.  ``include_metrics=True`` attaches the
+        process-wide metrics registry snapshot (used by ``stats_ack``).
+        """
         gate = self._gate.stats()
         with self._lock:
             served, errors = self._served, self._errors
-        return {
+        data = {
             "pid": os.getpid(),
             "address": f"{self.address[0]}:{self.address[1]}",
             "max_concurrency": self.max_concurrency,
@@ -283,7 +381,16 @@ class WorkerServer:
             "shed": gate["shed"],
             "inflight": gate["pending"],
             "peak_inflight": gate["peak_pending"],
+            "schema": obs.STATS_SCHEMA,
+            "served_total": served,
+            "errors_total": errors,
+            "shed_total": gate["shed"],
+            "pending": gate["pending"],
+            "peak_pending": gate["peak_pending"],
         }
+        if include_metrics:
+            data["metrics"] = obs.metrics_snapshot()
+        return data
 
 
 def _close_socket(sock: socket.socket) -> None:
@@ -335,6 +442,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     host, port = parse_bind(args.bind)
 
+    configure_logging()
+
     # Engine calls already run concurrently across connections; nested
     # per-read thread pools inside each call would oversubscribe the host
     # (same reasoning as the process pool's worker initialiser).
@@ -345,6 +454,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         port=port,
         max_concurrency=args.max_concurrency,
         max_pending=args.max_pending,
+    )
+    logger.info(
+        "worker starting",
+        extra={
+            "address": f"{server.address[0]}:{server.address[1]}",
+            "max_concurrency": server.max_concurrency,
+            "max_pending": server.max_pending,
+            "trace": obs.trace_path() or "off",
+        },
     )
     # The one contractual stdout line: scripts (CI, benchmarks) parse it to
     # learn the OS-assigned port and to know the worker is accepting.
@@ -366,6 +484,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         server.serve_forever()
     finally:
         server.close()
+        logger.info("worker stopped", extra={"served": server.stats()["served"]})
     return 0
 
 

@@ -36,12 +36,14 @@ backend per service (``SolveService(backend="process")``) or globally via the
 from __future__ import annotations
 
 import threading
+import time
 from collections import defaultdict
 from concurrent.futures import Future, ThreadPoolExecutor
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro import obs
 from repro.core.dataset import summarise_samples
 from repro.problems.base import ConstrainedProblem
 from repro.qubo.model import QUBOModel
@@ -128,9 +130,27 @@ class SolveService:
         self._key_locks = tuple(threading.Lock() for _ in range(64))
         self._executor: Optional[ThreadPoolExecutor] = None
         self._closed = False
-        self._gate = AdmissionGate(max_pending=max_pending, name="SolveService")
+        self._gate = AdmissionGate(max_pending=max_pending, name="service")
         self._served = 0
         self._failed = 0
+        # Exact per-service outcome counts stay above; the registry aggregates
+        # the same events across every service instance in the process.
+        self._served_metric = obs.counter(
+            "qross_service_tasks_total",
+            labels={"outcome": "served"},
+            help="Settled service tasks by outcome",
+        )
+        self._failed_metric = obs.counter(
+            "qross_service_tasks_total", labels={"outcome": "failed"}
+        )
+        self._latency = {
+            path: obs.histogram(
+                "qross_service_request_seconds",
+                labels={"path": path},
+                help="Service request latency by execution path",
+            )
+            for path in ("seeded", "unseeded", "merged")
+        }
 
     # ---------------------------------------------------------------- plumbing
     def _pool(self) -> ThreadPoolExecutor:
@@ -193,8 +213,21 @@ class SolveService:
         :class:`~repro.service.admission.ServiceOverloaded`; an admitted task
         releases its slot (and is counted served/failed) when its future
         settles, whatever thread resolves it.
+
+        When tracing is enabled, the submitting thread's trace context is
+        carried onto the pool thread, so spans opened inside the task nest
+        under the caller's span instead of starting orphan traces.
         """
         self._gate.acquire()
+        if obs.tracing_enabled():
+            ctx = obs.current_context()
+            if ctx is not None:
+                inner = fn
+
+                def fn(*call_args, _inner=inner, _ctx=ctx):
+                    with obs.use_context(_ctx):
+                        return _inner(*call_args)
+
         try:
             future = self._pool().submit(fn, *args)
         except BaseException:
@@ -211,6 +244,7 @@ class SolveService:
                     self._failed += 1
                 else:
                     self._served += 1
+            (self._failed_metric if failed else self._served_metric).inc()
         finally:
             self._gate.release()
 
@@ -221,7 +255,9 @@ class SolveService:
         ``admitted`` / ``pending`` / ``peak_pending`` / ``shed``) plus
         ``served`` / ``failed`` task outcomes, a ``retried`` total (transport
         and overload retries, when the backend performs any) and the
-        backend's counter snapshot under ``"backend"``.
+        backend's counter snapshot under ``"backend"``.  Keys follow the
+        unified :data:`repro.obs.STATS_SCHEMA`; the historical bare names
+        remain as aliases for one release.
         """
         data: dict = self._gate.stats()
         with self._lock:
@@ -235,6 +271,9 @@ class SolveService:
         data["retried"] = int(backend.get("transport_retries", 0)) + int(
             backend.get("overload_retries", 0)
         )
+        data["served_total"] = data["served"]
+        data["failed_total"] = data["failed"]
+        data["retried_total"] = data["retried"]
         return data
 
     # ------------------------------------------------------------- single shot
@@ -258,17 +297,30 @@ class SolveService:
         return self._admit_submit(self._run_unseeded, request, solver, seed)
 
     def _run_seeded(self, request: SolveRequest, solver: QUBOSolver) -> SolveResult:
-        model = request.resolve_model()
-        key = SolverCallCache.sample_key(model, solver, request.num_reads, int(request.seed))
-        # Per-key lock: concurrent duplicates wait for the first execution and
-        # are then served from the cache — the engine runs exactly once.
-        with self._key_lock(key):
-            samples = self.cache.lookup_samples(key)
-            if samples is not None:
-                return self._result(request, samples, solver, from_cache=True)
-            samples = self.backend.run(model, solver, request.num_reads, int(request.seed))
-            self.cache.store_samples(key, samples)
-            return self._result(request, samples, solver)
+        started = time.perf_counter()
+        with obs.span(
+            "service.solve",
+            path="seeded",
+            solver=solver.name,
+            num_reads=int(request.num_reads),
+            seed=int(request.seed),
+        ) as sp:
+            model = request.resolve_model()
+            key = SolverCallCache.sample_key(model, solver, request.num_reads, int(request.seed))
+            # Per-key lock: concurrent duplicates wait for the first execution
+            # and are then served from the cache — the engine runs exactly once.
+            with self._key_lock(key):
+                samples = self.cache.lookup_samples(key)
+                if samples is not None:
+                    sp.set(cache="hit")
+                    result = self._result(request, samples, solver, from_cache=True)
+                else:
+                    sp.set(cache="miss")
+                    samples = self.backend.run(model, solver, request.num_reads, int(request.seed))
+                    self.cache.store_samples(key, samples)
+                    result = self._result(request, samples, solver)
+        self._latency["seeded"].observe(time.perf_counter() - started)
+        return result
 
     def _run_unseeded(
         self,
@@ -276,8 +328,14 @@ class SolveService:
         solver: QUBOSolver,
         seed: int,
     ) -> SolveResult:
-        samples = self.backend.run(request.resolve_model(), solver, request.num_reads, seed)
-        return self._result(request, samples, solver)
+        started = time.perf_counter()
+        with obs.span(
+            "service.solve", path="unseeded", solver=solver.name, num_reads=int(request.num_reads)
+        ):
+            samples = self.backend.run(request.resolve_model(), solver, request.num_reads, seed)
+            result = self._result(request, samples, solver)
+        self._latency["unseeded"].observe(time.perf_counter() - started)
+        return result
 
     @staticmethod
     def _result(
@@ -363,12 +421,21 @@ class SolveService:
         merged groups are unseeded by construction, so no determinism contract
         is affected.
         """
+        started = time.perf_counter()
         model = entries[0].resolve_model()
         total = sum(request.num_reads for request in entries)
-        if self.backend.in_process:
-            samples = self.backend.run_with_rng(model, solver, total, rng)
-        else:
-            samples = self.backend.run(model, solver, total, int(rng.integers(0, 2**63 - 1)))
+        with obs.span(
+            "service.solve",
+            path="merged",
+            solver=solver.name,
+            num_reads=total,
+            group_size=len(entries),
+        ):
+            if self.backend.in_process:
+                samples = self.backend.run_with_rng(model, solver, total, rng)
+            else:
+                samples = self.backend.run(model, solver, total, int(rng.integers(0, 2**63 - 1)))
+        self._latency["merged"].observe(time.perf_counter() - started)
         permutation = rng.permutation(total)
         results: List[SolveResult] = []
         offset = 0

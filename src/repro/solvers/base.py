@@ -16,6 +16,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro import obs
 from repro.qubo.model import QUBOModel
 from repro.qubo.sampleset import SampleSet
 from repro.utils.rng import RngLike, ensure_rng
@@ -44,7 +45,14 @@ class QUBOSolver(abc.ABC):
         started_at = time.perf_counter()
         num_reads = validate_reads(num_reads)
         rng = ensure_rng(rng)
-        assignments, extra_info = self._sample(model, num_reads, rng)
+        with obs.span("engine.sample", solver=self.name, num_reads=num_reads):
+            assignments, extra_info = self._sample(model, num_reads, rng)
+        obs.histogram(
+            "qross_engine_sample_seconds",
+            labels={"solver": self.name},
+            buckets=obs.LATENCY_BUCKETS,
+            help="Wall time of one solver.sample() call",
+        ).observe(time.perf_counter() - started_at)
         return self._finalize(model, assignments, started_at, extra_info=extra_info)
 
     @abc.abstractmethod

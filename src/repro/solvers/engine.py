@@ -257,6 +257,10 @@ class AnnealingState:
         self.current_energies = self.energies_from_fields()
         self.best_X = self.ab.copy(self.X)
         self.best_energies = self.ab.copy(self.current_energies)
+        #: Optional :class:`repro.obs.SweepProfiler`; solvers attach one when
+        #: ``QROSS_ENGINE_PROFILE`` is on.  ``None`` keeps the mutators on a
+        #: single-attribute-test fast path.
+        self.profiler = None
 
     # ----------------------------------------------------------------- shapes
     @property
@@ -309,6 +313,12 @@ class AnnealingState:
         is an approximation of sequential Metropolis — callers should refresh
         ``current_energies`` via :meth:`refresh_energies` before reading them.
         """
+        if self.profiler is not None:
+            # Count before the no-accepts early return so proposals are never
+            # dropped from the acceptance-rate denominator.
+            proposed = int(accept.shape[0]) * int(accept.shape[1])
+            accepted = int(self.ab.to_numpy(self.xp.count_nonzero(accept)))
+            self.profiler.count_flips(proposed, accepted)
         if not self.xp.any(accept):
             return
         active = self.ab.to_numpy(self.xp.any(accept, axis=0))

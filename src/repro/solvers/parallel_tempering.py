@@ -33,6 +33,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro import obs
 from repro.compute.backend import resolve_array_backend, validate_engine_dtype
 from repro.qubo.model import QUBOModel
 from repro.solvers.base import QUBOSolver
@@ -151,6 +152,7 @@ class ParallelTemperingSolver(QUBOSolver):
         block = cfg.block_size or default_block_size(n)
 
         state = AnnealingState(model, num_reads * m, rng=rng, array_backend=ab)
+        state.profiler = obs.engine_profiler(self.name)
         read_base = np.arange(num_reads)[:, None] * m
 
         swaps_proposed = swaps_accepted = 0
@@ -167,6 +169,8 @@ class ParallelTemperingSolver(QUBOSolver):
                 state.apply_block_flips(cols, accept)
             state.refresh_energies()
             state.update_best()
+            if state.profiler is not None:
+                state.profiler.end_sweep()
 
             if m > 1 and (sweep + 1) % cfg.swap_interval == 0:
                 offset = (sweep // cfg.swap_interval) % 2
@@ -178,6 +182,8 @@ class ParallelTemperingSolver(QUBOSolver):
                 accept = ab.to_numpy(accept)
                 swaps_proposed += accept.size
                 swaps_accepted += int(accept.sum())
+                if state.profiler is not None:
+                    state.profiler.record_swap_round(int(accept.size), int(accept.sum()))
                 if accept.any():
                     reads, pairs = np.nonzero(accept)
                     rows_i = (read_base[reads, 0] + rungs[pairs]).ravel()
@@ -199,4 +205,6 @@ class ParallelTemperingSolver(QUBOSolver):
         }
         if trajectory is not None:
             info["best_energy_trajectory"] = trajectory
+        if state.profiler is not None:
+            info["engine_profile"] = state.profiler.finish()
         return assignments, info

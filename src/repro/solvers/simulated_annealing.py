@@ -33,6 +33,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro import obs
 from repro.compute.backend import resolve_array_backend, validate_engine_dtype
 from repro.qubo.model import QUBOModel
 from repro.solvers.base import QUBOSolver
@@ -109,6 +110,7 @@ class SimulatedAnnealingSolver(QUBOSolver):
 
         ab = resolve_array_backend(self.config.array_backend, self.config.dtype)
         state = AnnealingState(model, num_reads, rng=rng, array_backend=ab)
+        state.profiler = obs.engine_profiler(self.name)
         trajectory = [] if self.config.track_trajectory else None
         ran_block = block
         for temperature in temperatures:
@@ -126,6 +128,8 @@ class SimulatedAnnealingSolver(QUBOSolver):
                 state.apply_block_flips(cols, accept)
             state.refresh_energies()
             state.update_best()
+            if state.profiler is not None:
+                state.profiler.end_sweep()
             if trajectory is not None:
                 trajectory.append(float(state.best_energies.min()))
             if sizer is not None:
@@ -140,4 +144,6 @@ class SimulatedAnnealingSolver(QUBOSolver):
         }
         if trajectory is not None:
             info["best_energy_trajectory"] = trajectory
+        if state.profiler is not None:
+            info["engine_profile"] = state.profiler.finish()
         return state.best_states_host(), info

@@ -596,7 +596,7 @@ class TestServiceAdmission:
         gate.release()
         assert gate.try_acquire()
         stats = gate.stats()
-        assert stats == {
+        expected = {
             "max_pending": 2,
             "admitted": 3,
             "completed": 1,
@@ -604,6 +604,13 @@ class TestServiceAdmission:
             "peak_pending": 2,
             "shed": 2,
         }
+        for key, value in expected.items():
+            assert stats[key] == value
+        # Unified schema: canonical *_total aliases ride along (qross.stats/1).
+        assert stats["schema"] == "qross.stats/1"
+        assert stats["admitted_total"] == 3
+        assert stats["completed_total"] == 1
+        assert stats["shed_total"] == 2
 
     def test_gate_rejects_unmatched_release_and_bad_bounds(self):
         with pytest.raises(ValueError):

@@ -1,0 +1,239 @@
+"""Trace-context propagation: wire round-trip, stitched trees, determinism.
+
+The tentpole guarantee under test: one seeded solve through the remote fleet
+yields ONE stitched trace tree — client span → service.solve → remote.run →
+remote.rpc → worker.request → worker.queue_wait → worker.solve →
+engine.sample — with a single ``trace_id``, and turning tracing on never
+changes a seeded result's bytes.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.qubo.model import random_qubo
+from repro.service.distributed import wire
+from repro.service.registry import make_solver
+from repro.service.remote import RemoteBackend, WorkerServer
+from repro.service.service import SolveService
+
+
+@pytest.fixture(autouse=True)
+def _isolated_tracing():
+    obs.reset_tracing()
+    yield
+    obs.reset_tracing()
+
+
+def read_events(path):
+    with open(path) as handle:
+        return [json.loads(line) for line in handle]
+
+
+def span_index(events):
+    return {e["span_id"]: e for e in events}
+
+
+# ------------------------------------------------------------- wire round-trip
+class TestWireTraceHeader:
+    def test_trace_header_round_trips(self):
+        model = random_qubo(8, rng=0)
+        ctx = {"trace_id": "aa" * 8, "span_id": "bb" * 8}
+        frame = wire.encode_engine_call(model, "sa", 4, 7, trace=ctx)
+        _, header, _ = wire.decode_frame(frame, expected_kind="engine_call")
+        assert header["trace"] == ctx
+        # The standard decoder is indifferent to the extra key.
+        decoded_model, spec, reads, seed = wire.decode_engine_call(frame)
+        assert (decoded_model.Q == model.Q).all()
+        assert (spec, reads, seed) == ("sa", 4, 7)
+
+    def test_trace_header_round_trips_by_reference(self):
+        ctx = {"trace_id": "cc" * 8, "span_id": "dd" * 8}
+        frame = wire.encode_engine_call_ref("fp123", "sa", 4, 7, trace=ctx)
+        _, header, _ = wire.decode_frame(frame, expected_kind="engine_call")
+        assert header["trace"] == ctx
+        assert header["model_ref"] == "fp123"
+
+    def test_no_trace_means_no_header_key(self):
+        model = random_qubo(8, rng=0)
+        frame = wire.encode_engine_call(model, "sa", 4, 7)
+        _, header, _ = wire.decode_frame(frame, expected_kind="engine_call")
+        assert "trace" not in header
+        frame = wire.encode_engine_call_ref("fp123", "sa", 4, 7, trace=None)
+        _, header, _ = wire.decode_frame(frame, expected_kind="engine_call")
+        assert "trace" not in header
+
+    def test_old_worker_tolerates_traced_frames(self):
+        """A version-1 peer ignores unknown header keys — ``trace`` included.
+
+        The engine-call runner reads the trace context with ``header.get``,
+        so frames from old clients (no ``trace`` key) and new clients alike
+        execute identically.
+        """
+        from repro.service.distributed.backends import EngineCallRunner
+
+        model = random_qubo(8, rng=0)
+        runner = EngineCallRunner()
+        traced = wire.encode_engine_call(
+            model, "sa?num_sweeps=10", 3, 11,
+            trace={"trace_id": "aa" * 8, "span_id": "bb" * 8},
+        )
+        untraced = wire.encode_engine_call(model, "sa?num_sweeps=10", 3, 11)
+        a = wire.decode_sample_set(runner.execute(traced))
+        b = wire.decode_sample_set(runner.execute(untraced))
+        assert (a.assignments == b.assignments).all()
+        assert (a.energies == b.energies).all()
+
+    def test_protocol_negotiation_spans_versions(self):
+        assert wire.PROTOCOL_VERSION == 2
+        assert wire.negotiate_protocol([1]) == 1  # old peer
+        assert wire.negotiate_protocol([1, 2]) == 2
+        assert wire.negotiate_protocol([2, 99]) == 2
+        assert wire.negotiate_protocol([99]) is None
+
+
+# ------------------------------------------------------------- stitched trees
+class TestStitchedTraces:
+    def test_remote_solve_yields_one_stitched_tree(self, tmp_path):
+        sink = tmp_path / "trace.jsonl"
+        obs.configure_tracing(sink)
+        model = random_qubo(12, rng=2)
+        with WorkerServer() as server:
+            backend = RemoteBackend(workers=[server.address])
+            with obs.span("client"):
+                with SolveService(backend=backend, max_workers=2) as service:
+                    service.solve(model, solver="sa?num_sweeps=10", num_reads=3, seed=5)
+            backend.close()
+        obs.reset_tracing()
+
+        events = read_events(sink)
+        assert len({e["trace_id"] for e in events}) == 1
+        by_id = span_index(events)
+
+        def parent_name(event):
+            parent = by_id.get(event["parent_id"])
+            return parent["name"] if parent else None
+
+        chain = {}
+        for event in events:
+            chain[event["name"]] = parent_name(event)
+        assert chain["engine.sample"] == "worker.solve"
+        assert chain["worker.solve"] == "worker.request"
+        assert chain["worker.queue_wait"] == "worker.request"
+        assert chain["worker.request"] == "remote.rpc"
+        assert chain["remote.rpc"] == "remote.run"
+        assert chain["remote.run"] == "service.solve"
+        assert chain["service.solve"] == "client"
+        assert chain["client"] is None
+
+    def test_worker_spans_root_their_own_trace_without_client_context(self, tmp_path):
+        """An untraced (old) client still produces a coherent worker-side tree."""
+        sink = tmp_path / "trace.jsonl"
+        model = random_qubo(10, rng=2)
+        with WorkerServer() as server:
+            # Client side untraced: RemoteBackend sends no trace header.
+            backend = RemoteBackend(workers=[server.address])
+            obs.configure_tracing(sink)  # worker (same process) traces
+            backend.run(model, make_solver("sa?num_sweeps=10"), 3, 5)
+            obs.reset_tracing()
+            backend.close()
+        events = read_events(sink)
+        names = {e["name"] for e in events}
+        assert "worker.request" in names and "worker.solve" in names
+        roots = [e for e in events if e["parent_id"] is None]
+        request = next(e for e in events if e["name"] == "worker.request")
+        # With tracing shared in-process, the client-side remote spans appear
+        # too; the key property is that every span joins one coherent tree.
+        by_id = span_index(events)
+        node = request
+        while node["parent_id"] is not None:
+            node = by_id[node["parent_id"]]
+        assert node in roots
+
+    def test_service_pool_threads_inherit_submitting_context(self, tmp_path):
+        sink = tmp_path / "trace.jsonl"
+        obs.configure_tracing(sink)
+        model = random_qubo(10, rng=4)
+        with obs.span("client"):
+            with SolveService(max_workers=2) as service:
+                service.solve(model, solver="sa?num_sweeps=10", num_reads=2, seed=3)
+        obs.reset_tracing()
+        events = read_events(sink)
+        by_id = span_index(events)
+        solve = next(e for e in events if e["name"] == "service.solve")
+        assert by_id[solve["parent_id"]]["name"] == "client"
+        assert solve["attrs"]["path"] == "seeded"
+        assert solve["attrs"]["cache"] == "miss"
+
+    def test_seeded_cache_hit_is_visible_in_span(self, tmp_path):
+        sink = tmp_path / "trace.jsonl"
+        obs.configure_tracing(sink)
+        model = random_qubo(10, rng=4)
+        with SolveService(max_workers=2) as service:
+            service.solve(model, solver="sa?num_sweeps=10", num_reads=2, seed=3)
+            service.solve(model, solver="sa?num_sweeps=10", num_reads=2, seed=3)
+        obs.reset_tracing()
+        caches = [
+            e["attrs"]["cache"]
+            for e in read_events(sink)
+            if e["name"] == "service.solve"
+        ]
+        assert sorted(caches) == ["hit", "miss"]
+
+
+# ----------------------------------------------------- determinism + stats_ack
+class TestTracingNeutrality:
+    def test_traced_remote_solve_is_byte_identical(self, tmp_path):
+        model = random_qubo(12, rng=6)
+        with WorkerServer() as server:
+            backend = RemoteBackend(workers=[server.address])
+            solver = make_solver("sa?num_sweeps=15")
+            plain = backend.run(model, solver, 4, 9)
+            obs.configure_tracing(tmp_path / "trace.jsonl")
+            traced = backend.run(model, solver, 4, 9)
+            obs.reset_tracing()
+            backend.close()
+        assert (plain.assignments == traced.assignments).all()
+        assert (plain.energies == traced.energies).all()
+
+    def test_stats_ack_carries_fleet_metrics(self):
+        model = random_qubo(10, rng=6)
+        with WorkerServer() as server:
+            backend = RemoteBackend(workers=[server.address])
+            backend.run(model, make_solver("sa?num_sweeps=10"), 2, 1)
+            stats = backend.check_workers()
+            worker_stats = stats[f"{server.address[0]}:{server.address[1]}"]
+            assert worker_stats["schema"] == obs.STATS_SCHEMA
+            assert worker_stats["served_total"] >= 1
+            assert isinstance(worker_stats["metrics"], dict)
+            fleet = backend.fleet_metrics()
+            backend.close()
+        assert any(k.startswith("qross_worker_served_total") for k in fleet)
+        # Everything in the summed view is numeric (JSON-safe snapshot).
+        assert all(isinstance(v, (int, float)) for v in fleet.values())
+
+    def test_unified_stats_schema_aliases(self):
+        model = random_qubo(10, rng=6)
+        with WorkerServer() as server:
+            backend = RemoteBackend(workers=[server.address])
+            backend.run(model, make_solver("sa?num_sweeps=10"), 2, 1)
+            remote_stats = backend.stats()
+            backend.close()
+            worker_stats = server.stats()
+        assert remote_stats["schema"] == obs.STATS_SCHEMA
+        # Canonical *_total keys mirror the legacy names, for one release.
+        assert remote_stats["requests_total"] == remote_stats["requests"]
+        assert remote_stats["served_total"] == remote_stats["served"]
+        assert remote_stats["dials_total"] == remote_stats["dials"]
+        assert worker_stats["served_total"] == worker_stats["served"]
+        assert worker_stats["shed_total"] == worker_stats["shed"]
+
+        with SolveService(max_workers=1) as service:
+            service.solve(model, solver="sa?num_sweeps=10", num_reads=2, seed=0)
+            service_stats = service.stats()
+        assert service_stats["schema"] == obs.STATS_SCHEMA
+        assert service_stats["served_total"] == service_stats["served"]
